@@ -1,0 +1,32 @@
+"""Raw simulator throughput: events/second of the fetch engine.
+
+This is the one benchmark where wall-clock time is the result itself:
+it tracks the cost of the hot simulation loop across front-ends.
+"""
+
+import pytest
+
+from repro.harness.config import ArchitectureConfig
+from repro.workloads.corpus import generate_trace
+
+TRACE_INSTRUCTIONS = 150_000
+
+
+@pytest.mark.parametrize(
+    "frontend,kwargs",
+    [
+        ("btb", {"entries": 128}),
+        ("nls-table", {"entries": 1024}),
+        ("nls-cache", {}),
+        ("johnson", {}),
+    ],
+)
+def test_engine_throughput(benchmark, frontend, kwargs):
+    trace = generate_trace("gcc", instructions=TRACE_INSTRUCTIONS)
+    config = ArchitectureConfig(frontend=frontend, cache_kb=16, **kwargs)
+
+    def run():
+        return config.build().run(trace)
+
+    report = benchmark(run)
+    assert report.n_breaks > 0

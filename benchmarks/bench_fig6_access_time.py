@@ -1,0 +1,15 @@
+"""Regenerate Figure 6 (BTB access times)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig6
+
+
+def test_fig6(benchmark):
+    result = run_once(benchmark, fig6)
+    print()
+    print(result)
+    data = result.data
+    for entries in (128, 256):
+        ratio = data[f"{entries}-4w"] / data[f"{entries}-1w"]
+        assert 1.25 <= ratio <= 1.45  # "30 to 40% longer" (S6.3)

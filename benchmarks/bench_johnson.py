@@ -1,0 +1,15 @@
+"""Regenerate the S6.2 comparison against Johnson's coupled design."""
+
+from conftest import run_once
+
+from repro.harness.experiments import johnson_comparison
+
+
+def test_johnson(benchmark, bench_instructions):
+    result = run_once(benchmark, johnson_comparison, instructions=bench_instructions)
+    print()
+    print(result)
+    data = result.data
+    nls = data["1024 NLS-table + gshare"]
+    johnson = data["Johnson successor index (1-bit)"]
+    assert nls < johnson  # decoupled two-level beats coupled one-bit

@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*`` file regenerates one table/figure of the paper at a
+reduced trace length (``BENCH_INSTRUCTIONS``) and prints the rendered
+rows (run ``pytest benchmarks/ --benchmark-only -s`` to see them).
+Full-scale regeneration goes through ``python -m repro.harness``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: per-program trace length used by the benchmarks
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "250000"))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark *function* with a single timed round (experiments are
+    deterministic and expensive — statistics over rounds add nothing)."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+@pytest.fixture
+def bench_instructions() -> int:
+    return BENCH_INSTRUCTIONS

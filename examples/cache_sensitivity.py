@@ -1,0 +1,57 @@
+"""Cache sensitivity: the paper's central asymmetry, visualised.
+
+An NLS predictor points *into the instruction cache*, so its accuracy
+rises as the cache keeps more branch targets resident; a BTB stores
+full addresses and does not care about the cache (§7).  This example
+sweeps 8K/16K/32K/64K caches (direct-mapped and 4-way) and prints the
+misfetch component of the BEP for both architectures, plus the I-cache
+miss rate that drives the effect.
+
+Usage::
+
+    python examples/cache_sensitivity.py [program] [instructions]
+"""
+
+import sys
+
+from repro import ArchitectureConfig, simulate
+
+
+def bar(value: float, scale: float = 200.0) -> str:
+    return "#" * int(round(value * scale))
+
+
+def main() -> None:
+    program = sys.argv[1] if len(sys.argv) > 1 else "cfront"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 500_000
+
+    print(f"program={program}, {instructions:,} instructions")
+    print(f"{'cache':>10}  {'I-miss':>7}  {'BEP(misfetch)':>14}   profile")
+    for frontend, entries, name in (
+        ("nls-table", 1024, "1024-entry NLS-table"),
+        ("btb", 128, "128-entry BTB"),
+    ):
+        print(f"\n--- {name} ---")
+        for kb in (8, 16, 32, 64):
+            for assoc in (1, 4):
+                config = ArchitectureConfig(
+                    frontend=frontend,
+                    entries=entries,
+                    cache_kb=kb,
+                    cache_assoc=assoc,
+                )
+                report = simulate(config, program, instructions=instructions)
+                label = f"{kb}K/{assoc}w"
+                print(
+                    f"{label:>10}  {100 * report.icache_miss_rate:6.2f}%  "
+                    f"{report.bep_misfetch:14.3f}   {bar(report.bep_misfetch)}"
+                )
+
+    print(
+        "\nExpected shape: the NLS misfetch component falls steadily as the"
+        "\ncache grows (fewer displaced targets); the BTB's stays flat."
+    )
+
+
+if __name__ == "__main__":
+    main()

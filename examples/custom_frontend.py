@@ -1,0 +1,95 @@
+"""Plug a custom fetch front-end into the engine.
+
+The fetch engine accepts any object implementing the
+:class:`repro.fetch.frontends.FetchFrontEnd` protocol.  This example
+implements a *tagged* NLS-table — an NLS-table that additionally
+stores a small partial tag per entry, trading a little area for the
+elimination of tag-less aliasing — and compares it against the paper's
+plain NLS-table on every program.
+
+This is exactly the kind of design-space question the library is meant
+to make cheap to ask.
+
+Usage::
+
+    python examples/custom_frontend.py [instructions]
+"""
+
+import sys
+
+from repro.cache.icache import InstructionCache
+from repro.core.nls_entry import NLSEntryType, NLSPrediction, verify_nls_target
+from repro.core.nls_table import NLSTable
+from repro.fetch.engine import FetchEngine
+from repro.fetch.frontends import NLSTableFrontEnd
+from repro.harness.config import ArchitectureConfig
+from repro.isa.geometry import instruction_index
+from repro.workloads import generate_trace, paper_programs
+
+
+class TaggedNLSTable(NLSTable):
+    """An NLS-table with a *partial tag* per entry.
+
+    A lookup whose tag does not match behaves like an invalid entry
+    (fall-through fetch) instead of silently using another branch's
+    pointer.  ``tag_bits`` extra bits per entry are the area cost.
+    """
+
+    def __init__(self, entries, geometry, tag_bits=4):
+        super().__init__(entries, geometry)
+        self.tag_bits = tag_bits
+        self._tag_mask = (1 << tag_bits) - 1
+        self._tags = [0] * entries
+
+    def _tag_of(self, pc):
+        return (instruction_index(pc) >> (self.entries.bit_length() - 1)) & self._tag_mask
+
+    def lookup(self, pc):
+        prediction = super().lookup(pc)
+        index = self.index_of(pc)
+        if prediction.valid and self._tags[index] != self._tag_of(pc):
+            return NLSPrediction(NLSEntryType.INVALID, 0, 0)
+        return prediction
+
+    def update(self, pc, kind, taken, target=0, target_way=0):
+        super().update(pc, kind, taken, target, target_way)
+        self._tags[self.index_of(pc)] = self._tag_of(pc)
+
+
+class TaggedNLSFrontEnd(NLSTableFrontEnd):
+    """Front-end wrapper — reuses all NLS verification machinery."""
+
+    def __init__(self, table, cache):
+        super().__init__(table, cache)
+        self.name = f"tagged-nls-{table.entries}e"
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 400_000
+    base = ArchitectureConfig(frontend="nls-table", entries=1024, cache_kb=16)
+
+    print(f"{'program':<10} {'plain NLS BEP':>14} {'tagged NLS BEP':>15} {'alias rate':>11}")
+    for program in paper_programs():
+        trace = generate_trace(program, instructions=instructions)
+
+        plain = base.build().run(trace, warmup_fraction=0.3)
+
+        cache = InstructionCache(base.geometry)
+        table = TaggedNLSTable(1024, cache.geometry)
+        engine = FetchEngine(cache, TaggedNLSFrontEnd(table, cache))
+        tagged = engine.run(trace, warmup_fraction=0.3)
+
+        print(
+            f"{program:<10} {plain.bep:14.3f} {tagged.bep:15.3f} "
+            f"{100 * table.alias_rate:10.2f}%"
+        )
+
+    print(
+        "\nThe paper argues tag-less interference is small (S4.1); the "
+        "tagged variant quantifies exactly how much BEP the 4-bit tags "
+        "would buy back."
+    )
+
+
+if __name__ == "__main__":
+    main()

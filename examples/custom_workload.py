@@ -1,0 +1,90 @@
+"""Build a custom synthetic workload and evaluate fetch predictors on it.
+
+The six shipped profiles are calibrated to the paper's Table 1, but the
+generator is fully parameterised.  This example defines a new profile —
+a small interpreter-style program with heavy indirect dispatch — then:
+
+1. generates the program and a trace,
+2. re-measures its Table 1 attributes,
+3. runs the NLS-table and BTB on it.
+
+Usage::
+
+    python examples/custom_workload.py [instructions]
+"""
+
+import sys
+
+from repro import ArchitectureConfig, build_program, execute, measure, simulate
+from repro.workloads.profiles import TakenBiasClass, WorkloadProfile
+from repro.workloads.stats import TraceAttributes
+
+DISPATCH_HEAVY = WorkloadProfile(
+    name="dispatcher",
+    description="bytecode-interpreter shape: hot dispatch loop, huge "
+    "indirect fan-out, shallow helper calls",
+    n_procedures=40,
+    blocks_per_procedure=(10, 30),
+    mean_block_instructions=5.0,
+    main_call_sites=60,
+    zipf_alpha=1.6,
+    frac_conditional=0.40,
+    frac_loop=0.15,
+    frac_unconditional=0.05,
+    frac_call=0.15,
+    frac_indirect=0.25,  # the defining feature
+    taken_bias_classes=(
+        TakenBiasClass(0.50, 0.002, 0.02),
+        TakenBiasClass(0.30, 0.98, 0.998),
+        TakenBiasClass(0.15, 0.30, 0.70, correlated=True),
+        TakenBiasClass(0.05, 0.30, 0.70, sticky=0.9),
+    ),
+    loop_iterations_log_mean=1.2,
+    loop_iterations_log_sigma=0.6,
+    indirect_fanout=(8, 24),
+    indirect_skew=0.8,  # flat dispatch: hard to predict
+    indirect_repeat=0.30,
+)
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 400_000
+
+    program = build_program(DISPATCH_HEAVY)
+    print(
+        f"generated {len(program.procedures)} procedures, "
+        f"{program.code_bytes / 1024:.0f} KB of code"
+    )
+
+    trace = execute(
+        program,
+        instructions,
+        seed=1,
+        profile_indirect_repeat=DISPATCH_HEAVY.indirect_repeat,
+    )
+    trace.validate()
+
+    attributes = measure(trace, program)
+    print()
+    print(TraceAttributes.header())
+    print(attributes.row())
+    print()
+
+    for config in (
+        ArchitectureConfig(frontend="nls-table", entries=1024, cache_kb=16),
+        ArchitectureConfig(frontend="btb", entries=128, cache_kb=16),
+        ArchitectureConfig(frontend="btb", entries=256, cache_kb=16),
+    ):
+        report = simulate(config, trace)
+        print(report.summary())
+
+    print(
+        "\nWith this much indirect dispatch the mispredict component "
+        "dominates for every architecture — indirect jumps resolve at "
+        "execute, so neither a BTB nor an NLS pointer can repair them "
+        "at decode (S5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

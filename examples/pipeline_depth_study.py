@@ -1,0 +1,59 @@
+"""Does the NLS conclusion survive deeper pipelines and wider issue?
+
+The paper fixes 1995-era penalties (1-cycle misfetch, 4-cycle
+mispredict, 5-cycle I-miss) and a single-issue machine.  This example
+uses the analysis tools to stress both assumptions:
+
+1. :func:`repro.analysis.penalty_sensitivity` re-weighs one pair of
+   simulations across a mispredict-penalty × miss-penalty grid —
+   deeper pipelines and slower memory;
+2. the §8 multi-issue experiment compares IPC at fetch widths 1–8.
+
+Usage::
+
+    python examples/pipeline_depth_study.py [program] [instructions]
+"""
+
+import sys
+
+from repro.analysis.sensitivity import format_sensitivity, penalty_sensitivity
+from repro.harness.experiments import multi_issue
+
+
+def main() -> None:
+    program = sys.argv[1] if len(sys.argv) > 1 else "cfront"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 400_000
+
+    print(f"=== penalty sensitivity on {program} ===\n")
+    points = penalty_sensitivity(
+        program,
+        mispredict_penalties=(2.0, 4.0, 8.0, 12.0, 20.0),
+        miss_penalties=(5.0, 20.0, 50.0),
+        instructions=instructions,
+    )
+    print(
+        format_sensitivity(
+            points, title="1024 NLS-table vs 128 BTB (equal RBE cost)"
+        )
+    )
+    advantage = {point.penalties.mispredict for point in points if point.nls_wins}
+    print(
+        f"\nNLS keeps the lower CPI at mispredict penalties {sorted(advantage)} "
+        "— the BEP advantage comes from misfetches, which deeper pipelines "
+        "do not touch, while the shared PHT mispredicts identically."
+    )
+
+    print(f"\n=== issue-width study on {program} ===\n")
+    result = multi_issue(programs=(program,), instructions=instructions)
+    print(result.text)
+    nls = result.data["1024 NLS-table"]
+    btb = result.data["128 BTB"]
+    print(
+        f"\nIPC gap (NLS - BTB): width 1: {nls[1] - btb[1]:+.3f}, "
+        f"width 8: {nls[8] - btb[8]:+.3f} — the gap widens with issue "
+        "width, consistent with the paper's closing claim (S8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""repro — reproduction of Calder & Grunwald, "Next Cache Line and Set
+Prediction" (ISCA 1995).
+
+The package implements the paper's NLS fetch predictors plus every
+substrate the evaluation depends on: a synthetic-workload generator
+standing in for the ATOM traces, an instruction-cache simulator,
+direction predictors (gshare PHT, return stack), branch target
+buffers, the trace-driven fetch engine with the paper's penalty
+accounting, and the RBE-area / access-time cost models.
+
+Quick start::
+
+    from repro import ArchitectureConfig, simulate
+
+    nls = ArchitectureConfig(frontend="nls-table", entries=1024,
+                             cache_kb=16, cache_assoc=1)
+    report = simulate(nls, "gcc", instructions=200_000)
+    print(report.summary())
+
+See ``examples/`` for runnable scenarios and ``repro.harness`` for the
+per-figure experiment drivers (``python -m repro.harness --help``).
+"""
+
+from repro.cache import CacheGeometry, InstructionCache
+from repro.analysis import (
+    btb_capacity_curve,
+    nls_capacity_curve,
+    penalty_breakdown,
+    penalty_sensitivity,
+)
+from repro.core import (
+    JohnsonSuccessorIndex,
+    NLSCache,
+    NLSEntryType,
+    NLSPrediction,
+    NLSTable,
+    SteelySagerTable,
+)
+from repro.fetch.multiissue import FetchBandwidthModel, MultiIssueReport
+from repro.cost import AccessTimeModel, RBEModel
+from repro.fetch import (
+    BTBFrontEnd,
+    FallThroughFrontEnd,
+    FetchEngine,
+    JohnsonFrontEnd,
+    NLSCacheFrontEnd,
+    NLSTableFrontEnd,
+    OracleFrontEnd,
+)
+from repro.harness.config import ArchitectureConfig
+from repro.harness.runner import simulate, sweep
+from repro.isa import BranchKind
+from repro.metrics import PenaltyModel, SimulationReport, average_reports
+from repro.predictors import (
+    BranchTargetBuffer,
+    GSharePredictor,
+    ReturnAddressStack,
+)
+from repro.workloads import (
+    Trace,
+    WorkloadProfile,
+    build_program,
+    execute,
+    generate_trace,
+    get_profile,
+    measure,
+    paper_programs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # architecture building blocks
+    "CacheGeometry",
+    "InstructionCache",
+    "NLSTable",
+    "NLSCache",
+    "NLSEntryType",
+    "NLSPrediction",
+    "JohnsonSuccessorIndex",
+    "SteelySagerTable",
+    "BranchTargetBuffer",
+    "GSharePredictor",
+    "ReturnAddressStack",
+    # fetch simulation
+    "FetchEngine",
+    "BTBFrontEnd",
+    "NLSTableFrontEnd",
+    "NLSCacheFrontEnd",
+    "JohnsonFrontEnd",
+    "OracleFrontEnd",
+    "FallThroughFrontEnd",
+    # metrics & costs
+    "PenaltyModel",
+    "SimulationReport",
+    "average_reports",
+    "RBEModel",
+    "AccessTimeModel",
+    "FetchBandwidthModel",
+    "MultiIssueReport",
+    # analysis
+    "penalty_breakdown",
+    "penalty_sensitivity",
+    "btb_capacity_curve",
+    "nls_capacity_curve",
+    # workloads
+    "BranchKind",
+    "Trace",
+    "WorkloadProfile",
+    "get_profile",
+    "paper_programs",
+    "build_program",
+    "execute",
+    "generate_trace",
+    "measure",
+    # harness
+    "ArchitectureConfig",
+    "simulate",
+    "sweep",
+]

@@ -1,0 +1,21 @@
+"""Analysis tools layered on top of the simulator.
+
+* :mod:`repro.analysis.breakdown` — per-branch-kind penalty
+  attribution (which kinds pay misfetch vs mispredict cycles);
+* :mod:`repro.analysis.capacity` — structure-capacity curves (BTB hit
+  rate and NLS occupancy/alias rate vs entry count);
+* :mod:`repro.analysis.sensitivity` — penalty-model sensitivity: how
+  the NLS-vs-BTB conclusion moves as the misfetch/mispredict/miss
+  penalties change with pipeline depth.
+"""
+
+from repro.analysis.breakdown import penalty_breakdown
+from repro.analysis.capacity import btb_capacity_curve, nls_capacity_curve
+from repro.analysis.sensitivity import penalty_sensitivity
+
+__all__ = [
+    "penalty_breakdown",
+    "btb_capacity_curve",
+    "nls_capacity_curve",
+    "penalty_sensitivity",
+]

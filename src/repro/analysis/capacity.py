@@ -1,0 +1,113 @@
+"""Structure-capacity curves.
+
+§7 explains the NLS-table's win through capacity: "because each NLS
+predictor is smaller than the comparable BTB entry, the NLS
+architecture has many more prediction entries using the same
+resources".  These helpers trace that argument quantitatively: hit/
+misfetch rates as a function of the entry count, with the RBE cost of
+each point so the curves can be compared at equal area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cost.rbe import RBEModel
+from repro.harness.config import ArchitectureConfig
+from repro.harness.runner import DEFAULT_WARMUP, run_config
+from repro.workloads.corpus import generate_trace
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One point of a capacity curve."""
+
+    entries: int
+    rbe: float
+    bep: float
+    bep_misfetch: float
+    pct_misfetched: float
+    pct_mispredicted: float
+
+
+def btb_capacity_curve(
+    program: str,
+    entries_list: Sequence[int] = (32, 64, 128, 256, 512, 1024),
+    associativity: int = 1,
+    cache_kb: int = 16,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> List[CapacityPoint]:
+    """BEP vs BTB entry count on *program* (cost from the RBE model)."""
+    model = RBEModel()
+    trace = generate_trace(program, instructions=instructions)
+    points: List[CapacityPoint] = []
+    for entries in entries_list:
+        config = ArchitectureConfig(
+            frontend="btb",
+            entries=entries,
+            btb_assoc=associativity,
+            cache_kb=cache_kb,
+        )
+        report = run_config(config, trace, warmup_fraction=warmup)
+        points.append(
+            CapacityPoint(
+                entries=entries,
+                rbe=model.btb_cost(entries, associativity).rbe,
+                bep=report.bep,
+                bep_misfetch=report.bep_misfetch,
+                pct_misfetched=report.pct_misfetched,
+                pct_mispredicted=report.pct_mispredicted,
+            )
+        )
+    return points
+
+
+def nls_capacity_curve(
+    program: str,
+    entries_list: Sequence[int] = (128, 256, 512, 1024, 2048, 4096),
+    cache_kb: int = 16,
+    cache_assoc: int = 1,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> List[CapacityPoint]:
+    """BEP vs NLS-table entry count on *program*."""
+    model = RBEModel()
+    trace = generate_trace(program, instructions=instructions)
+    points: List[CapacityPoint] = []
+    for entries in entries_list:
+        config = ArchitectureConfig(
+            frontend="nls-table",
+            entries=entries,
+            cache_kb=cache_kb,
+            cache_assoc=cache_assoc,
+        )
+        report = run_config(config, trace, warmup_fraction=warmup)
+        points.append(
+            CapacityPoint(
+                entries=entries,
+                rbe=model.nls_table_cost(entries, config.geometry).rbe,
+                bep=report.bep,
+                bep_misfetch=report.bep_misfetch,
+                pct_misfetched=report.pct_misfetched,
+                pct_mispredicted=report.pct_mispredicted,
+            )
+        )
+    return points
+
+
+def format_capacity_curve(points: List[CapacityPoint], title: str = "") -> str:
+    """Render a capacity curve as a monospace table."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'entries':>8} {'RBE':>10} {'%MfB':>7} {'%MpB':>7} {'BEP':>7}"
+    )
+    for point in points:
+        lines.append(
+            f"{point.entries:>8} {point.rbe:>10,.0f} {point.pct_misfetched:>7.2f} "
+            f"{point.pct_mispredicted:>7.2f} {point.bep:>7.3f}"
+        )
+    return "\n".join(lines)

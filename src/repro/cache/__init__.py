@@ -1,0 +1,44 @@
+"""Instruction-cache simulator.
+
+The paper evaluates 8 KB, 16 KB and 32 KB instruction caches with
+32-byte lines, 4-byte instructions and direct-mapped / 2-way / 4-way
+LRU organisations (§5.1).  This package provides:
+
+* :class:`~repro.cache.geometry.CacheGeometry` — size/line/way
+  arithmetic (set index, tag, line field of an address);
+* :class:`~repro.cache.icache.InstructionCache` — the simulated cache
+  with hit/miss statistics and stable way identifiers so that NLS *set*
+  (way) predictions can be verified;
+* :class:`~repro.cache.setpred.FallThroughWayPredictor` — the per-line
+  set-field extension of §4.2 (second approach) that predicts the way
+  of the fall-through line.
+
+A note on terminology: the paper calls the ways of an associative
+cache "sets" (its NLS *set field* selects one member of an associative
+set).  Internally we use the conventional names — *set index* selects
+the row, *way* selects the member — and map the paper's set field onto
+the way.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.icache import AccessResult, InstructionCache
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.setpred import FallThroughWayPredictor
+
+__all__ = [
+    "CacheGeometry",
+    "InstructionCache",
+    "AccessResult",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "FallThroughWayPredictor",
+]

@@ -1,0 +1,118 @@
+"""Cache geometry and address-field arithmetic.
+
+Every structure in the reproduction that needs to slice an address into
+(tag, set index, line offset, instruction offset) does it through a
+:class:`CacheGeometry`, so the NLS predictors, the instruction cache
+and the RBE cost model always agree on field widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.geometry import INSTRUCTION_BYTES
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def _log2(n: int) -> int:
+    return n.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of an instruction cache.
+
+    Parameters mirror §5.1 of the paper: ``size_bytes`` in
+    {8K, 16K, 32K, 64K}, ``line_bytes`` = 32, ``associativity`` in
+    {1, 2, 4}.  All three must be powers of two.
+    """
+
+    size_bytes: int
+    line_bytes: int = 32
+    associativity: int = 1
+
+    #: derived — number of lines in the cache
+    n_lines: int = field(init=False)
+    #: derived — number of sets (rows)
+    n_sets: int = field(init=False)
+    #: derived — instructions held per line
+    instructions_per_line: int = field(init=False)
+    #: derived — bits of byte offset within a line
+    offset_bits: int = field(init=False)
+    #: derived — bits selecting the set (row)
+    set_index_bits: int = field(init=False)
+    #: derived — bits selecting the way (the paper's NLS *set field*)
+    way_bits: int = field(init=False)
+    #: derived — bits selecting an instruction within a line
+    instruction_offset_bits: int = field(init=False)
+    #: derived — width of the NLS *line field*: cache-set index plus
+    #: the instruction offset within the line (§4, "the high-order
+    #: bits indicate the line ... the low-order bits indicate the
+    #: actual instruction in that line")
+    line_field_bits: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "line_bytes", "associativity"):
+            value = getattr(self, name)
+            if not _is_power_of_two(value):
+                raise ValueError(f"{name} must be a power of two, got {value}")
+        if self.line_bytes < INSTRUCTION_BYTES:
+            raise ValueError("a cache line must hold at least one instruction")
+        if self.size_bytes < self.line_bytes * self.associativity:
+            raise ValueError("cache must hold at least one full set")
+        write = object.__setattr__
+        write(self, "n_lines", self.size_bytes // self.line_bytes)
+        write(self, "n_sets", self.n_lines // self.associativity)
+        write(self, "instructions_per_line", self.line_bytes // INSTRUCTION_BYTES)
+        write(self, "offset_bits", _log2(self.line_bytes))
+        write(self, "set_index_bits", _log2(self.n_sets))
+        write(self, "way_bits", _log2(self.associativity))
+        write(self, "instruction_offset_bits", _log2(self.instructions_per_line))
+        write(
+            self,
+            "line_field_bits",
+            self.set_index_bits + self.instruction_offset_bits,
+        )
+
+    # ------------------------------------------------------------------
+    # address slicing
+    # ------------------------------------------------------------------
+
+    def set_index(self, address: int) -> int:
+        """Set (row) index the line containing *address* maps to."""
+        return (address >> self.offset_bits) & (self.n_sets - 1)
+
+    def tag(self, address: int) -> int:
+        """Tag of the line containing *address*."""
+        return address >> (self.offset_bits + self.set_index_bits)
+
+    def line_address(self, address: int) -> int:
+        """Address of the first byte of the line containing *address*."""
+        return address & ~(self.line_bytes - 1)
+
+    def instruction_offset(self, address: int) -> int:
+        """Index of *address*'s instruction within its line."""
+        return (address & (self.line_bytes - 1)) >> 2
+
+    def line_field(self, address: int) -> int:
+        """The NLS line-field value for a branch whose target is
+        *address*: set index concatenated with instruction offset."""
+        return (self.set_index(address) << self.instruction_offset_bits) | (
+            self.instruction_offset(address)
+        )
+
+    def next_line_address(self, address: int) -> int:
+        """Address of the line following the one containing *address*
+        (the precomputed fall-through line of §4)."""
+        return self.line_address(address) + self.line_bytes
+
+    def lines_spanned(self, start: int, n_instructions: int) -> int:
+        """Number of distinct cache lines touched by a run of
+        *n_instructions* instructions starting at *start*."""
+        if n_instructions <= 0:
+            return 0
+        end = start + (n_instructions - 1) * INSTRUCTION_BYTES
+        return (self.line_address(end) - self.line_address(start)) // self.line_bytes + 1

@@ -1,0 +1,165 @@
+"""Set-associative instruction cache simulator.
+
+The cache exposes *stable way identifiers*: a line stays in the way it
+was filled into until it is evicted.  The NLS set field (§4) predicts
+exactly this way, so verification of a set prediction is
+``cache.probe(target) == predicted_way``.
+
+Structures that piggyback on the cache (the NLS-cache predictor arrays,
+the per-line fall-through way predictor of §4.2) register eviction/fill
+listeners so their state is discarded together with the line — the
+behaviour responsible for the NLS-cache's performance loss in Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import ReplacementPolicy, make_policy
+
+#: listener(set_index, way, old_tag) called just before a line is replaced
+EvictListener = Callable[[int, int, int], None]
+#: listener(set_index, way, new_tag) called just after a line is filled
+FillListener = Callable[[int, int, int], None]
+
+_INVALID_TAG = -1
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a demand access."""
+
+    hit: bool
+    #: way the line resides in after the access
+    way: int
+    #: tag that was evicted to make room, or ``None`` (hit / cold fill)
+    evicted_tag: Optional[int] = None
+
+
+class InstructionCache:
+    """A set-associative instruction cache with LRU replacement.
+
+    Only line-granularity behaviour is modelled (presence, way, LRU
+    state, miss counts); line *contents* are implied by the trace.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        replacement: str = "lru",
+    ) -> None:
+        self.geometry = geometry
+        # hot-path address arithmetic, precomputed
+        self._offset_bits = geometry.offset_bits
+        self._set_mask = geometry.n_sets - 1
+        self._tag_shift = geometry.offset_bits + geometry.set_index_bits
+        self._policy_name = replacement
+        self._policy: ReplacementPolicy = make_policy(
+            replacement, geometry.n_sets, geometry.associativity
+        )
+        self._tags: List[List[int]] = [
+            [_INVALID_TAG] * geometry.associativity for _ in range(geometry.n_sets)
+        ]
+        self._evict_listeners: List[EvictListener] = []
+        self._fill_listeners: List[FillListener] = []
+        self.accesses = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+
+    def add_evict_listener(self, listener: EvictListener) -> None:
+        """Register *listener* to be told when a valid line is evicted."""
+        self._evict_listeners.append(listener)
+
+    def add_fill_listener(self, listener: FillListener) -> None:
+        """Register *listener* to be told when a line is filled."""
+        self._fill_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def probe(self, address: int) -> Optional[int]:
+        """Return the way holding *address*'s line, or ``None`` on a
+        miss.  Does not disturb replacement state or statistics."""
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        ways = self._tags[set_index]
+        for way, stored in enumerate(ways):
+            if stored == tag:
+                return way
+        return None
+
+    def contains(self, address: int) -> bool:
+        """Return ``True`` when the line holding *address* is resident."""
+        return self.probe(address) is not None
+
+    def access(self, address: int) -> AccessResult:
+        """Perform a demand access for the line holding *address*.
+
+        On a miss the line is filled immediately (the 5-cycle penalty
+        is accounted by the fetch engine, not here).
+        """
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        ways = self._tags[set_index]
+        self.accesses += 1
+        for way, stored in enumerate(ways):
+            if stored == tag:
+                self._policy.touch(set_index, way)
+                return AccessResult(hit=True, way=way)
+        # miss: pick a victim and fill
+        self.misses += 1
+        way = self._policy.victim(set_index)
+        old_tag = ways[way]
+        evicted: Optional[int] = None
+        if old_tag != _INVALID_TAG:
+            evicted = old_tag
+            for listener in self._evict_listeners:
+                listener(set_index, way, old_tag)
+        ways[way] = tag
+        self._policy.insert(set_index, way)
+        for listener in self._fill_listeners:
+            listener(set_index, way, tag)
+        return AccessResult(hit=False, way=way, evicted_tag=evicted)
+
+    # ------------------------------------------------------------------
+    # management / statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0.0 when never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def flush(self) -> None:
+        """Invalidate every line and reset replacement state (not the
+        statistics)."""
+        for ways in self._tags:
+            for way in range(len(ways)):
+                ways[way] = _INVALID_TAG
+        self._policy.reset()
+
+    def reset_statistics(self) -> None:
+        """Zero the access/miss counters."""
+        self.accesses = 0
+        self.misses = 0
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(
+            1 for ways in self._tags for stored in ways if stored != _INVALID_TAG
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        g = self.geometry
+        return (
+            f"InstructionCache({g.size_bytes}B, {g.associativity}-way, "
+            f"{self._policy_name}, misses={self.misses}/{self.accesses})"
+        )

@@ -1,0 +1,123 @@
+"""Replacement policies for set-associative structures.
+
+The instruction cache and the BTB in the paper both use LRU (§5.1).
+FIFO and random policies are provided for ablation studies of the
+NLS-cache predictor replacement ("we studied various replacement
+policies", §4.1).
+
+A policy instance manages *one* structure: it is created with the
+number of sets and ways and tracks recency/insertion state internally.
+Victim selection and touch notifications are O(associativity) with
+small constants, which is the hot path of every simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Protocol
+
+
+class ReplacementPolicy(Protocol):
+    """Interface shared by all replacement policies."""
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Record a hit on (*set_index*, *way*)."""
+
+    def insert(self, set_index: int, way: int) -> None:
+        """Record a fill of (*set_index*, *way*)."""
+
+    def victim(self, set_index: int) -> int:
+        """Return the way to evict from *set_index*."""
+
+    def reset(self) -> None:
+        """Forget all recency state."""
+
+
+class LRUPolicy:
+    """Least-recently-used replacement.
+
+    Recency is kept as a per-set list of way indices ordered from
+    most- to least-recently used.
+    """
+
+    def __init__(self, n_sets: int, associativity: int) -> None:
+        self._n_sets = n_sets
+        self._assoc = associativity
+        self._order: List[List[int]] = []
+        self.reset()
+
+    def reset(self) -> None:
+        self._order = [list(range(self._assoc)) for _ in range(self._n_sets)]
+
+    def touch(self, set_index: int, way: int) -> None:
+        order = self._order[set_index]
+        if order[0] != way:
+            order.remove(way)
+            order.insert(0, way)
+
+    insert = touch
+
+    def victim(self, set_index: int) -> int:
+        return self._order[set_index][-1]
+
+
+class FIFOPolicy:
+    """First-in-first-out replacement: hits do not refresh recency."""
+
+    def __init__(self, n_sets: int, associativity: int) -> None:
+        self._n_sets = n_sets
+        self._assoc = associativity
+        self._next: List[int] = []
+        self.reset()
+
+    def reset(self) -> None:
+        self._next = [0] * self._n_sets
+
+    def touch(self, set_index: int, way: int) -> None:
+        pass
+
+    def insert(self, set_index: int, way: int) -> None:
+        if way == self._next[set_index]:
+            self._next[set_index] = (way + 1) % self._assoc
+
+    def victim(self, set_index: int) -> int:
+        return self._next[set_index]
+
+
+class RandomPolicy:
+    """Uniform-random replacement with a deterministic seeded stream."""
+
+    def __init__(self, n_sets: int, associativity: int, seed: int = 0) -> None:
+        self._assoc = associativity
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def touch(self, set_index: int, way: int) -> None:
+        pass
+
+    def insert(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int) -> int:
+        return self._rng.randrange(self._assoc)
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, n_sets: int, associativity: int) -> ReplacementPolicy:
+    """Build a replacement policy by name (``lru``/``fifo``/``random``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None
+    return cls(n_sets, associativity)

@@ -1,0 +1,87 @@
+"""Fall-through way prediction (§4.2, second approach).
+
+For associative caches the paper sketches an "elegant" alternative to a
+full tag comparison on the fall-through path: every cache line carries
+a *set field* predicting the way where its fall-through (sequential
+successor) line lives.  On each access either the NLS predictor's set
+field (branches) or the previous line's set field (sequential fetch)
+selects a single way to drive, making an associative cache behave like
+a direct-mapped one on the critical path.  A wrong way prediction is
+repaired by probing the remaining ways, costing a misfetch-style bubble.
+
+This module models that per-line successor-way table.  State is
+attached to (set, way) slots and invalidated when the carrier line is
+evicted, exactly like the NLS-cache predictors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.icache import InstructionCache
+
+
+class FallThroughWayPredictor:
+    """Per-cache-line predictor of the *way* of the fall-through line.
+
+    Usage: the fetch engine calls :meth:`predict` with the address of
+    the line being fetched to obtain the predicted way for the next
+    sequential line, and :meth:`update` once the true way is known.
+    """
+
+    def __init__(self, cache: InstructionCache) -> None:
+        self._cache = cache
+        geometry = cache.geometry
+        self._n_sets = geometry.n_sets
+        self._assoc = geometry.associativity
+        # _next_way[set][way] = predicted way of the successor line
+        self._next_way: List[List[Optional[int]]] = [
+            [None] * self._assoc for _ in range(self._n_sets)
+        ]
+        cache.add_evict_listener(self._on_evict)
+        self.predictions = 0
+        self.correct = 0
+
+    # ------------------------------------------------------------------
+
+    def _on_evict(self, set_index: int, way: int, old_tag: int) -> None:
+        self._next_way[set_index][way] = None
+
+    def predict(self, line_address: int) -> Optional[int]:
+        """Predicted way of the line following the one at
+        *line_address*, or ``None`` when no prediction is stored or the
+        carrier line is not resident."""
+        geometry = self._cache.geometry
+        set_index = geometry.set_index(line_address)
+        way = self._cache.probe(line_address)
+        if way is None:
+            return None
+        return self._next_way[set_index][way]
+
+    def update(self, line_address: int, successor_way: int) -> None:
+        """Record that the successor of the line at *line_address* was
+        found in *successor_way*."""
+        geometry = self._cache.geometry
+        set_index = geometry.set_index(line_address)
+        way = self._cache.probe(line_address)
+        if way is not None:
+            self._next_way[set_index][way] = successor_way
+
+    def record_outcome(self, predicted: Optional[int], actual: int) -> bool:
+        """Book-keep one prediction; returns ``True`` when correct.
+
+        ``None`` predictions (cold) are counted as wrong — the hardware
+        would drive a default way and usually miss.
+        """
+        self.predictions += 1
+        hit = predicted == actual
+        if hit:
+            self.correct += 1
+        return hit
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of recorded predictions that were correct."""
+        if self.predictions == 0:
+            return 0.0
+        return self.correct / self.predictions

@@ -1,0 +1,39 @@
+"""Next cache line and set (NLS) prediction — the paper's contribution.
+
+An NLS predictor is "a pointer into the instruction cache, indicating
+the target instruction of a taken branch" (§1).  Each predictor holds:
+
+* a 2-bit **type field** (invalid / return / conditional / other);
+* a **line field** — the instruction-cache line index of the target
+  plus the instruction's offset within the line;
+* a **set field** — the way of an associative cache where the target
+  line lives (absent for direct-mapped caches).
+
+Two organisations are provided, matching §4.1:
+
+* :class:`~repro.core.nls_table.NLSTable` — a tag-less direct-mapped
+  table indexed by the branch address (the paper's preferred design);
+* :class:`~repro.core.nls_cache.NLSCache` — predictors coupled to
+  instruction-cache lines (discarded on eviction), the design the
+  NLS-table is shown to beat in Figure 4;
+
+plus :class:`~repro.core.johnson.JohnsonSuccessorIndex`, the related
+coupled cache-successor-index design with one-bit implicit direction
+prediction (§6.2) used by the MIPS R8000/TFP.
+"""
+
+from repro.core.nls_entry import NLSEntryType, NLSPrediction, nls_type_for
+from repro.core.nls_table import NLSTable
+from repro.core.nls_cache import NLSCache
+from repro.core.johnson import JohnsonSuccessorIndex
+from repro.core.steely_sager import SteelySagerTable
+
+__all__ = [
+    "NLSEntryType",
+    "NLSPrediction",
+    "nls_type_for",
+    "NLSTable",
+    "NLSCache",
+    "JohnsonSuccessorIndex",
+    "SteelySagerTable",
+]

@@ -1,0 +1,133 @@
+"""Johnson's coupled cache-successor-index design (§6.2).
+
+Johnson [5] proposed storing *cache successor indices* with each cache
+line: for each group of instructions the line remembers the cache line
+index to fetch next.  The index doubles as a one-bit direction
+predictor — it points either at the fall-through line or at the taken
+target, and it is updated on **every** branch execution (taken writes
+the target pointer, not-taken writes the fall-through pointer).  The
+MIPS R8000/TFP shipped a 1024-entry variant of this scheme.
+
+Contrast with the paper's NLS (§4): NLS updates the line/set fields
+only on taken branches and delegates the direction decision to the
+shared two-level PHT, which is what buys its higher accuracy.
+
+There is no type field and no return-stack integration: returns and
+indirect jumps are predicted by whatever pointer the slot last stored.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.cache.icache import InstructionCache
+from repro.isa.branches import BranchKind
+
+
+class SuccessorPrediction(NamedTuple):
+    """A successor-index lookup result."""
+
+    valid: bool
+    line_field: int
+    way: int
+
+
+_INVALID = SuccessorPrediction(False, 0, 0)
+
+
+class JohnsonSuccessorIndex:
+    """Per-cache-line successor indices with implicit 1-bit direction.
+
+    ``predictors_per_line`` follows the TFP's one predictor per four
+    instructions (2 slots on a 32-byte line).
+    """
+
+    def __init__(
+        self,
+        cache: InstructionCache,
+        predictors_per_line: int = 2,
+    ) -> None:
+        geometry = cache.geometry
+        if not 1 <= predictors_per_line <= geometry.instructions_per_line:
+            raise ValueError(
+                "predictors_per_line must be between 1 and "
+                f"{geometry.instructions_per_line}, got {predictors_per_line}"
+            )
+        self.cache = cache
+        self.geometry = geometry
+        self.predictors_per_line = predictors_per_line
+        self._slice = geometry.instructions_per_line // predictors_per_line
+        n = geometry.n_sets * geometry.associativity * predictors_per_line
+        self._valid: List[bool] = [False] * n
+        self._lines: List[int] = [0] * n
+        self._ways: List[int] = [0] * n
+        self._assoc = geometry.associativity
+        cache.add_evict_listener(self._on_evict)
+        self.lookups = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+
+    def _base(self, set_index: int, way: int) -> int:
+        return (set_index * self._assoc + way) * self.predictors_per_line
+
+    def _on_evict(self, set_index: int, way: int, old_tag: int) -> None:
+        base = self._base(set_index, way)
+        for k in range(self.predictors_per_line):
+            self._valid[base + k] = False
+        self.invalidations += 1
+
+    def _slot(self, pc: int, way: Optional[int]) -> Optional[int]:
+        if way is None:
+            way = self.cache.probe(pc)
+            if way is None:
+                return None
+        offset = self.geometry.instruction_offset(pc)
+        return self._base(self.geometry.set_index(pc), way) + offset // self._slice
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, pc: int, way: Optional[int] = None) -> SuccessorPrediction:
+        """Successor prediction for the branch at *pc* (carried by the
+        resident line at *way*; probed when omitted)."""
+        self.lookups += 1
+        slot = self._slot(pc, way)
+        if slot is None or not self._valid[slot]:
+            return _INVALID
+        return SuccessorPrediction(True, self._lines[slot], self._ways[slot])
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int,
+        target_way: int,
+        fall_through: int,
+        fall_through_way: int = 0,
+    ) -> None:
+        """Train with a resolved branch — *every* execution writes the
+        pointer: taken stores the target location, not-taken stores the
+        fall-through location (Johnson's one-bit behaviour)."""
+        slot = self._slot(pc, None)
+        if slot is None:
+            return
+        self._valid[slot] = True
+        if taken:
+            self._lines[slot] = self.geometry.line_field(target)
+            self._ways[slot] = target_way
+        else:
+            self._lines[slot] = self.geometry.line_field(fall_through)
+            self._ways[slot] = fall_through_way
+
+    def flush(self) -> None:
+        """Invalidate every successor slot (context-switch modelling)."""
+        for index in range(len(self._valid)):
+            self._valid[index] = False
+
+    def implied_taken(self, prediction: SuccessorPrediction, fall_through: int) -> bool:
+        """The direction implied by a pointer: predicting anything
+        other than the fall-through location means predicting taken."""
+        if not prediction.valid:
+            return False
+        return prediction.line_field != self.geometry.line_field(fall_through)

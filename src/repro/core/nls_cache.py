@@ -1,0 +1,199 @@
+"""The NLS-cache: NLS predictors coupled to instruction-cache lines.
+
+"In the NLS-cache, we associate the NLS predictors with each cache
+line.  Thus, the NLS entries share the instruction address tag with
+the cache line" (§4.1).  Consequences modelled here:
+
+* a cache line has a fixed, small budget of predictors (the paper
+  found two per eight-instruction line most effective, one per four
+  instructions);
+* when a line is evicted its predictors are discarded — prediction
+  state does *not* survive cache misses (the main reason the
+  NLS-table wins in Figure 4);
+* a predictor can only serve branches inside its carrier line.
+
+Two ways of associating predictors with branches in a line are
+implemented (§4.1 "we studied various replacement policies and
+methods of associating the NLS predictors with specific instructions
+in a cache line"):
+
+* ``partition`` (paper default): predictor *k* serves the *k*-th
+  1/N-slice of the line's instructions — e.g. with two predictors the
+  first serves instructions 0–3 and the second instructions 4–7;
+* ``lru``: predictors float — each remembers the instruction offset it
+  was trained by; a branch uses the predictor matching its offset, and
+  training replaces the least-recently-used predictor of the line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.icache import InstructionCache
+from repro.core.nls_entry import (
+    INVALID_PREDICTION,
+    NLSEntryType,
+    NLSPrediction,
+    nls_type_for,
+)
+from repro.isa.branches import BranchKind
+
+
+class _LineSlots:
+    """Predictor slots carried by one (set, way) cache frame."""
+
+    __slots__ = ("types", "lines", "ways", "offsets", "recency")
+
+    def __init__(self, per_line: int) -> None:
+        self.types = [NLSEntryType.INVALID] * per_line
+        self.lines = [0] * per_line
+        self.ways = [0] * per_line
+        # 'lru' policy state: trained instruction offset per slot and
+        # recency order (most recent first)
+        self.offsets = [-1] * per_line
+        self.recency = list(range(per_line))
+
+    def invalidate(self) -> None:
+        per_line = len(self.types)
+        for k in range(per_line):
+            self.types[k] = NLSEntryType.INVALID
+            self.lines[k] = 0
+            self.ways[k] = 0
+            self.offsets[k] = -1
+        self.recency = list(range(per_line))
+
+
+class NLSCache:
+    """NLS predictors coupled to the lines of an instruction cache."""
+
+    _POLICIES = ("partition", "lru")
+
+    def __init__(
+        self,
+        cache: InstructionCache,
+        predictors_per_line: int = 2,
+        policy: str = "partition",
+    ) -> None:
+        geometry = cache.geometry
+        if not 1 <= predictors_per_line <= geometry.instructions_per_line:
+            raise ValueError(
+                "predictors_per_line must be between 1 and "
+                f"{geometry.instructions_per_line}, got {predictors_per_line}"
+            )
+        if policy not in self._POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; expected {self._POLICIES}")
+        self.cache = cache
+        self.geometry = geometry
+        self.predictors_per_line = predictors_per_line
+        self.policy = policy
+        self._slice = geometry.instructions_per_line // predictors_per_line
+        self._frames: List[List[_LineSlots]] = [
+            [_LineSlots(predictors_per_line) for _ in range(geometry.associativity)]
+            for _ in range(geometry.n_sets)
+        ]
+        cache.add_evict_listener(self._on_evict)
+        self.lookups = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+
+    def _on_evict(self, set_index: int, way: int, old_tag: int) -> None:
+        self._frames[set_index][way].invalidate()
+        self.invalidations += 1
+
+    def _slot_for_lookup(self, slots: _LineSlots, offset: int) -> Optional[int]:
+        if self.policy == "partition":
+            return offset // self._slice
+        # lru: find the slot trained by this instruction offset
+        for k in range(self.predictors_per_line):
+            if slots.offsets[k] == offset:
+                return k
+        return None
+
+    def _slot_for_update(self, slots: _LineSlots, offset: int) -> int:
+        if self.policy == "partition":
+            return offset // self._slice
+        for k in range(self.predictors_per_line):
+            if slots.offsets[k] == offset:
+                return k
+        return slots.recency[-1]  # replace the LRU slot
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, pc: int, way: Optional[int] = None) -> NLSPrediction:
+        """NLS prediction for the branch at *pc*.
+
+        *way* is the cache way the line containing *pc* currently
+        occupies (the fetch engine just read the instruction from it);
+        when omitted it is probed.  If the line is not resident there
+        is no carrier frame and the prediction is invalid.
+        """
+        self.lookups += 1
+        if way is None:
+            way = self.cache.probe(pc)
+            if way is None:
+                return INVALID_PREDICTION
+        set_index = self.geometry.set_index(pc)
+        slots = self._frames[set_index][way]
+        offset = self.geometry.instruction_offset(pc)
+        slot = self._slot_for_lookup(slots, offset)
+        if slot is None:
+            return INVALID_PREDICTION
+        if self.policy == "lru":
+            recency = slots.recency
+            if recency[0] != slot:
+                recency.remove(slot)
+                recency.insert(0, slot)
+        return NLSPrediction(
+            NLSEntryType(slots.types[slot]), slots.lines[slot], slots.ways[slot]
+        )
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int = 0,
+        target_way: int = 0,
+    ) -> None:
+        """Train the predictor serving the branch at *pc*.
+
+        Type field on every executed branch; line/set fields only when
+        taken (§4).  If the carrier line has already been evicted the
+        update is dropped — there is nowhere to store it.
+        """
+        way = self.cache.probe(pc)
+        if way is None:
+            return
+        set_index = self.geometry.set_index(pc)
+        slots = self._frames[set_index][way]
+        offset = self.geometry.instruction_offset(pc)
+        slot = self._slot_for_update(slots, offset)
+        slots.types[slot] = nls_type_for(kind)
+        slots.offsets[slot] = offset
+        if taken:
+            slots.lines[slot] = self.geometry.line_field(target)
+            slots.ways[slot] = target_way
+        if self.policy == "lru":
+            recency = slots.recency
+            if recency[0] != slot:
+                recency.remove(slot)
+                recency.insert(0, slot)
+
+    # ------------------------------------------------------------------
+
+    def valid_entries(self) -> int:
+        """Number of trained predictor slots currently live."""
+        return sum(
+            1
+            for ways in self._frames
+            for slots in ways
+            for t in slots.types
+            if t != NLSEntryType.INVALID
+        )
+
+    def flush(self) -> None:
+        """Invalidate every predictor slot (not the statistics)."""
+        for ways in self._frames:
+            for slots in ways:
+                slots.invalidate()

@@ -1,0 +1,142 @@
+"""The NLS predictor entry: type, line and set fields (§4).
+
+The type field encodes the prediction source to use for the next
+instruction fetch:
+
+======  ========================  ==========================
+bits    branch type               prediction source
+======  ========================  ==========================
+``00``  invalid entry             —
+``01``  return instruction        return stack
+``10``  conditional branch        NLS entry, conditional on PHT
+``11``  other types of branches   always use NLS entry
+======  ========================  ==========================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Optional
+
+from repro.isa.branches import BranchKind
+
+
+class NLSEntryType(enum.IntEnum):
+    """The two-bit NLS type field."""
+
+    INVALID = 0
+    RETURN = 1
+    CONDITIONAL = 2
+    OTHER = 3
+
+
+#: branch kind -> NLS type field value
+_KIND_TO_TYPE = {
+    BranchKind.RETURN: NLSEntryType.RETURN,
+    BranchKind.CONDITIONAL: NLSEntryType.CONDITIONAL,
+    BranchKind.UNCONDITIONAL: NLSEntryType.OTHER,
+    BranchKind.CALL: NLSEntryType.OTHER,
+    BranchKind.INDIRECT: NLSEntryType.OTHER,
+}
+
+
+def nls_type_for(kind: BranchKind) -> NLSEntryType:
+    """Map a dynamic branch kind onto the two-bit NLS type field."""
+    try:
+        return _KIND_TO_TYPE[kind]
+    except KeyError:
+        raise ValueError(f"{kind!r} is not a branch") from None
+
+
+class NLSPrediction(NamedTuple):
+    """What an NLS structure returns for a lookup.
+
+    ``line_field`` packs the cache-set index and the instruction
+    offset within the line (see
+    :meth:`repro.cache.geometry.CacheGeometry.line_field`); ``way`` is
+    the predicted cache way (the paper's *set field*), always 0 for a
+    direct-mapped cache.  ``line_field``/``way`` are only meaningful
+    when ``type`` is not :attr:`NLSEntryType.INVALID`.
+    """
+
+    type: NLSEntryType
+    line_field: int
+    way: int
+
+    @property
+    def valid(self) -> bool:
+        """``True`` when the entry has been trained at least once."""
+        return self.type != NLSEntryType.INVALID
+
+
+#: prediction returned for never-written slots
+INVALID_PREDICTION = NLSPrediction(NLSEntryType.INVALID, 0, 0)
+
+#: mismatch causes reported by :func:`classify_nls_mismatch`
+MISMATCH_CAUSES = ("invalid", "line-field", "displaced", "wrong-way")
+
+
+def classify_nls_mismatch(prediction: NLSPrediction, target: int, cache):
+    """Why does *prediction* fail to fetch *target*? (``None`` = it
+    does fetch it.)
+
+    Causes, in check order:
+
+    * ``invalid`` — the entry was never trained;
+    * ``line-field`` — the stored pointer belongs to a different
+      target (tag-less aliasing or a stale pointer after the branch's
+      target moved);
+    * ``displaced`` — the pointer is right but the target's line has
+      been evicted from the instruction cache (§7's mechanism: the
+      misfetch co-occurs with a cache miss, so bigger caches shrink
+      this bucket);
+    * ``wrong-way`` — resident, but not in the predicted way (set-field
+      staleness in associative caches).
+    """
+    if not prediction.valid:
+        return "invalid"
+    geometry = cache.geometry
+    if prediction.line_field != (target >> 2) & (
+        (1 << geometry.line_field_bits) - 1
+    ):
+        return "line-field"
+    way = cache.probe(target)
+    if way is None:
+        return "displaced"
+    if geometry.associativity > 1 and way != prediction.way:
+        return "wrong-way"
+    return None
+
+
+def verify_nls_target(
+    prediction: NLSPrediction,
+    target: int,
+    cache,
+) -> bool:
+    """Check whether *prediction* actually fetches *target*.
+
+    A taken-branch NLS prediction is correct only when all of the
+    following hold (§7 "the information ... is only useful if the
+    actual destination of a branch is in the predicted location"):
+
+    1. the stored line field equals the target's line field (the
+       tag-less table may hold another branch's pointer — aliasing);
+    2. the target's line is resident in the instruction cache (a
+       displaced line turns into a misfetch *plus* the cache miss);
+    3. for associative caches, the line is resident in the predicted
+       way (set-field check).
+    """
+    if not prediction.valid:
+        return False
+    geometry = cache.geometry
+    # line field == the low line_field_bits of the word address
+    if prediction.line_field != (target >> 2) & (
+        (1 << geometry.line_field_bits) - 1
+    ):
+        return False
+    way: Optional[int] = cache.probe(target)
+    if way is None:
+        return False
+    if geometry.associativity > 1 and way != prediction.way:
+        return False
+    return True

@@ -1,0 +1,123 @@
+"""The NLS-table: a tag-less direct-mapped table of NLS predictors.
+
+"The NLS-table uses the lower order bits of the branch instruction's
+address to index into a tagless table" (§4.1).  Because there is no
+tag, a lookup always returns an entry; when two branches collide the
+entry written by one is silently used by the other (the design's one
+disadvantage, which §4.1 reports to be small).
+
+Update rules (§4): *all* executed branches update the type field;
+*only taken* branches update the line and set fields, so a not-taken
+conditional execution never erases the pointer to the taken target.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.nls_entry import (
+    _KIND_TO_TYPE,
+    NLSEntryType,
+    NLSPrediction,
+    nls_type_for,
+)
+from repro.isa.branches import BranchKind
+from repro.isa.geometry import instruction_index
+from repro.predictors.replacement_util import check_table_size
+
+
+class NLSTable:
+    """Tag-less direct-mapped table of NLS predictors.
+
+    Parameters
+    ----------
+    entries:
+        number of NLS predictors (the paper studies 512/1024/2048);
+    geometry:
+        geometry of the instruction cache the line/set fields point
+        into — the line-field width is a property of the cache, not of
+        the table.
+    """
+
+    def __init__(self, entries: int, geometry: CacheGeometry) -> None:
+        check_table_size(entries)
+        self.entries = entries
+        self.geometry = geometry
+        self._mask = entries - 1
+        # hot-path line-field arithmetic, precomputed
+        self._line_field_mask = (1 << geometry.line_field_bits) - 1
+        self._types: List[int] = [NLSEntryType.INVALID] * entries
+        self._lines: List[int] = [0] * entries
+        self._ways: List[int] = [0] * entries
+        # diagnostics: owning branch pc per slot, for aliasing analysis
+        self._owners: List[int] = [-1] * entries
+        self.lookups = 0
+        self.alias_lookups = 0
+
+    # ------------------------------------------------------------------
+
+    def index_of(self, pc: int) -> int:
+        """Table slot used by the branch at *pc*."""
+        return instruction_index(pc) & self._mask
+
+    def lookup(self, pc: int) -> NLSPrediction:
+        """Return the NLS prediction for the branch at *pc*.
+
+        Tag-less: always returns the slot's contents, which may have
+        been written by a different (aliasing) branch.
+        """
+        index = instruction_index(pc) & self._mask
+        self.lookups += 1
+        owner = self._owners[index]
+        if owner >= 0 and owner != pc:
+            self.alias_lookups += 1
+        return NLSPrediction(
+            NLSEntryType(self._types[index]), self._lines[index], self._ways[index]
+        )
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int = 0,
+        target_way: int = 0,
+    ) -> None:
+        """Train the slot for *pc* with a resolved branch.
+
+        The type field is written on every executed branch; the line
+        and set fields only when the branch was taken, using the
+        resolved *target* address and the cache way the target line
+        was found in (*target_way*).
+        """
+        index = (pc >> 2) & self._mask
+        self._types[index] = _KIND_TO_TYPE[kind]
+        self._owners[index] = pc
+        if taken:
+            # line field = set index . instruction offset == the low
+            # line_field_bits of the word address
+            self._lines[index] = (target >> 2) & self._line_field_mask
+            self._ways[index] = target_way
+
+    # ------------------------------------------------------------------
+
+    @property
+    def alias_rate(self) -> float:
+        """Fraction of lookups that read a slot last written by a
+        different branch (tag-less interference, §4.1)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.alias_lookups / self.lookups
+
+    def valid_entries(self) -> int:
+        """Number of slots whose type field is not INVALID."""
+        return sum(1 for t in self._types if t != NLSEntryType.INVALID)
+
+    def flush(self) -> None:
+        """Invalidate every slot (not the statistics)."""
+        n = self.entries
+        self._types = [NLSEntryType.INVALID] * n
+        self._lines = [0] * n
+        self._ways = [0] * n
+        self._owners = [-1] * n

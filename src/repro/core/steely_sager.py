@@ -1,0 +1,82 @@
+"""The Steely–Sager next-line-prediction variant (§6.2).
+
+Calder & Grunwald note that the NLS-table's basic shape was patented
+by Steely and Sager (US 5,283,873), with two differences they call
+out: the patent addresses only direct-mapped caches, and it predicts
+indirect jumps through *"a single 'computed goto' register"* instead
+of through the per-branch NLS entry — "by comparison, we use the NLS
+predictor to provide the predicted cache index for all branch
+destinations other than fall-through branches and return
+instructions".
+
+This module implements that variant so the difference is measurable:
+a tag-less NLS table for direct branches, plus one shared register
+holding the cache index of the most recent indirect-jump target.  Any
+program that interleaves several hot indirect sites (virtual dispatch
+in `groff`/`cfront`) thrashes the single register, which is exactly
+the behaviour the paper's per-entry design avoids.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.nls_entry import _KIND_TO_TYPE, NLSEntryType, NLSPrediction
+from repro.core.nls_table import NLSTable
+from repro.isa.branches import BranchKind
+
+
+class SteelySagerTable(NLSTable):
+    """NLS-table variant with a single computed-goto register.
+
+    Indirect jumps mark their slot (so lookups know to consult the
+    register) but store their predicted cache index in one shared
+    register rather than in the slot.
+    """
+
+    def __init__(self, entries: int, geometry: CacheGeometry) -> None:
+        if geometry.associativity != 1:
+            raise ValueError(
+                "the Steely-Sager design only addresses direct-mapped "
+                "caches (S6.2); use the NLS-table for associative caches"
+            )
+        super().__init__(entries, geometry)
+        self._indirect: List[bool] = [False] * entries
+        #: the single computed-goto register (a cache line field)
+        self.goto_register = 0
+        self.goto_valid = False
+
+    def lookup(self, pc: int) -> NLSPrediction:
+        prediction = super().lookup(pc)
+        index = self.index_of(pc)
+        if self._indirect[index] and prediction.valid:
+            if not self.goto_valid:
+                return NLSPrediction(NLSEntryType.INVALID, 0, 0)
+            return NLSPrediction(prediction.type, self.goto_register, 0)
+        return prediction
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int = 0,
+        target_way: int = 0,
+    ) -> None:
+        index = (pc >> 2) & self._mask
+        if kind == BranchKind.INDIRECT:
+            self._types[index] = _KIND_TO_TYPE[kind]
+            self._owners[index] = pc
+            self._indirect[index] = True
+            if taken:
+                self.goto_register = (target >> 2) & self._line_field_mask
+                self.goto_valid = True
+            return
+        self._indirect[index] = False
+        super().update(pc, kind, taken, target, target_way)
+
+    def flush(self) -> None:
+        super().flush()
+        self._indirect = [False] * self.entries
+        self.goto_valid = False

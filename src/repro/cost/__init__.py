@@ -1,0 +1,12 @@
+"""Implementation-cost models: silicon area (RBE) and access time.
+
+* :mod:`repro.cost.rbe` — the register-bit-equivalent area model of
+  Mulder, Quach & Flynn used for Figure 3;
+* :mod:`repro.cost.timing` — a CACTI-style (Wilton & Jouppi) access
+  time model used for Figure 6.
+"""
+
+from repro.cost.rbe import RBEModel, StructureCost
+from repro.cost.timing import AccessTimeModel
+
+__all__ = ["RBEModel", "StructureCost", "AccessTimeModel"]

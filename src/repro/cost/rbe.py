@@ -1,0 +1,173 @@
+"""Register-bit-equivalent (RBE) area model — Figure 3.
+
+The paper evaluates implementation cost with the on-chip-memory area
+model of Mulder, Quach & Flynn [11], where "one RBE equals the area of
+a bit storage cell".  We reproduce the model's structure with the
+standard cell weights (register cell 1.0 RBE, SRAM cell 0.6 RBE, CAM
+cell 2.0 RBE) plus a small array overhead for decoders and sense
+amplifiers:
+
+* **NLS structures** are plain (tag-less) RAM: SRAM cells + array
+  overhead.  Entry width depends on the instruction-cache geometry —
+  line field = set-index bits + instruction-offset bits, plus the
+  2-bit type field, plus way bits for associative caches — which is
+  exactly why the NLS-table grows *logarithmically* with cache size
+  while the NLS-cache (a fixed number of predictors per line) grows
+  *linearly* (§6).
+* **BTBs** are small associative caches searched by full tag: tag bits
+  in CAM-weighted cells, data (30-bit target + 2-bit type) in register
+  cells, plus LRU state for associative organisations.  Their cost
+  depends on the address-space size, not the instruction cache (§7).
+
+The model reproduces the paper's cost equivalences: the NLS-cache
+matches the 512/1024/2048-entry NLS-table at 8K/16K/32K caches
+respectively, the 1024-entry NLS-table costs about as much as a
+128-entry BTB, and the 256-entry BTB costs about twice the 1024-entry
+NLS-table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+from repro.isa.geometry import AddressSpace
+
+#: the paper's assumed address space (30-bit stored targets)
+_DEFAULT_SPACE = AddressSpace(32)
+
+
+@dataclass(frozen=True)
+class StructureCost:
+    """Cost breakdown of one structure, in RBE."""
+
+    label: str
+    storage_bits: int
+    rbe: float
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.storage_bits} bits, {self.rbe:,.0f} RBE"
+
+
+@dataclass(frozen=True)
+class RBEModel:
+    """Area weights (RBE per cell) and array overhead."""
+
+    register_cell: float = 1.0
+    sram_cell: float = 0.6
+    cam_cell: float = 2.0
+    #: fractional overhead of a RAM array (decoder, sense amps)
+    array_overhead: float = 0.10
+
+    # ------------------------------------------------------------------
+    # field widths
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def nls_entry_bits(geometry: CacheGeometry) -> int:
+        """Bits of one NLS predictor for a cache of this *geometry*:
+        2-bit type + line field + set (way) field."""
+        return 2 + geometry.line_field_bits + geometry.way_bits
+
+    @staticmethod
+    def btb_entry_data_bits(space: AddressSpace = _DEFAULT_SPACE) -> int:
+        """Data bits of a BTB entry: full target + 2-bit type."""
+        return space.target_bits + 2
+
+    @staticmethod
+    def btb_tag_bits(
+        entries: int, associativity: int, space: AddressSpace = _DEFAULT_SPACE
+    ) -> int:
+        """Tag bits of a BTB entry: word address minus the set index."""
+        n_sets = entries // associativity
+        return space.target_bits - int(math.log2(n_sets))
+
+    @staticmethod
+    def lru_bits_per_set(associativity: int) -> int:
+        """State bits to track an LRU order of *associativity* ways."""
+        if associativity <= 1:
+            return 0
+        return math.ceil(math.log2(math.factorial(associativity)))
+
+    # ------------------------------------------------------------------
+    # structure costs
+    # ------------------------------------------------------------------
+
+    def ram_cost(self, bits: int) -> float:
+        """Cost of a plain (tag-less) SRAM array of *bits* bits."""
+        return bits * self.sram_cell * (1.0 + self.array_overhead)
+
+    def nls_table_cost(
+        self, entries: int, geometry: CacheGeometry
+    ) -> StructureCost:
+        """Cost of an *entries*-entry NLS-table for a cache of
+        *geometry* (grows logarithmically with cache size)."""
+        bits = entries * self.nls_entry_bits(geometry)
+        return StructureCost(
+            label=f"{entries}-entry NLS-table @ {geometry.size_bytes // 1024}K",
+            storage_bits=bits,
+            rbe=self.ram_cost(bits),
+        )
+
+    def nls_cache_cost(
+        self, geometry: CacheGeometry, predictors_per_line: int = 2
+    ) -> StructureCost:
+        """Cost of the NLS-cache predictor storage: a fixed number of
+        predictors per cache line (grows linearly with cache size).
+        Only the predictor bits are counted — the tag is shared with
+        the cache line and is charged to the cache, not the predictor."""
+        n_predictors = geometry.n_lines * predictors_per_line
+        bits = n_predictors * self.nls_entry_bits(geometry)
+        return StructureCost(
+            label=(
+                f"NLS-cache ({predictors_per_line}/line) @ "
+                f"{geometry.size_bytes // 1024}K"
+            ),
+            storage_bits=bits,
+            rbe=self.ram_cost(bits),
+        )
+
+    def btb_cost(
+        self,
+        entries: int,
+        associativity: int = 1,
+        space: AddressSpace = _DEFAULT_SPACE,
+    ) -> StructureCost:
+        """Cost of a BTB: CAM-weighted tags, register-weighted data,
+        LRU bits for associative organisations.  Independent of the
+        instruction-cache size; grows with the address space (§7)."""
+        tag_bits = self.btb_tag_bits(entries, associativity, space)
+        data_bits = self.btb_entry_data_bits(space)
+        n_sets = entries // associativity
+        lru_bits = n_sets * self.lru_bits_per_set(associativity)
+        storage_bits = entries * (tag_bits + data_bits) + lru_bits
+        rbe = (
+            entries * tag_bits * self.cam_cell
+            + entries * data_bits * self.register_cell
+            + lru_bits * self.register_cell
+        )
+        return StructureCost(
+            label=f"{entries}-entry {associativity}-way BTB",
+            storage_bits=storage_bits,
+            rbe=rbe,
+        )
+
+    def pht_cost(self, entries: int = 4096, counter_bits: int = 2) -> StructureCost:
+        """Cost of the shared pattern history table (identical for
+        both architectures, so it cancels in comparisons)."""
+        bits = entries * counter_bits
+        return StructureCost(
+            label=f"{entries}-entry PHT", storage_bits=bits, rbe=self.ram_cost(bits)
+        )
+
+    def return_stack_cost(
+        self, entries: int = 32, space: AddressSpace = _DEFAULT_SPACE
+    ) -> StructureCost:
+        """Cost of the return-address stack (also shared)."""
+        bits = entries * space.target_bits
+        return StructureCost(
+            label=f"{entries}-entry return stack",
+            storage_bits=bits,
+            rbe=bits * self.register_cell,
+        )

@@ -1,0 +1,37 @@
+"""The instruction-fetch simulation: front-ends and the fetch engine.
+
+:mod:`repro.fetch.frontends` wraps each studied structure (BTB,
+NLS-table, NLS-cache, Johnson successor indices, plus oracle/none
+baselines) behind one interface; :mod:`repro.fetch.engine` drives a
+block-compressed trace through the instruction cache, the shared PHT
+and return stack, and a chosen front-end, producing a
+:class:`~repro.metrics.report.SimulationReport`.
+"""
+
+from repro.fetch.frontends import (
+    FetchFrontEnd,
+    BTBFrontEnd,
+    NLSTableFrontEnd,
+    NLSCacheFrontEnd,
+    JohnsonFrontEnd,
+    OracleFrontEnd,
+    FallThroughFrontEnd,
+    MECH_CONDITIONAL,
+    MECH_OTHER,
+    MECH_RETURN,
+)
+from repro.fetch.engine import FetchEngine
+
+__all__ = [
+    "FetchFrontEnd",
+    "BTBFrontEnd",
+    "NLSTableFrontEnd",
+    "NLSCacheFrontEnd",
+    "JohnsonFrontEnd",
+    "OracleFrontEnd",
+    "FallThroughFrontEnd",
+    "FetchEngine",
+    "MECH_CONDITIONAL",
+    "MECH_OTHER",
+    "MECH_RETURN",
+]

@@ -1,0 +1,381 @@
+"""Fetch front-ends: one interface over every studied structure.
+
+A front-end answers, for the break instruction at ``pc``:
+
+* which prediction *mechanism* its entry selects — ``MECH_RETURN``
+  (use the return stack), ``MECH_CONDITIONAL`` (use the PHT, then the
+  entry's target on taken), ``MECH_OTHER`` (always use the entry's
+  target), or ``None`` (no entry — fetch falls through and the branch
+  is resolved at decode/execute);
+* whether its stored taken-target prediction actually delivers a given
+  resolved target (:meth:`target_matches`) — for the BTB a full
+  address compare, for NLS structures the line-field/residency/way
+  verification of §7;
+* after resolution, how to train itself (:meth:`update`).
+
+The engine owns the shared PHT and return stack; front-ends only
+handle type + target.  Johnson's design is the exception: its pointer
+*is* the direction prediction, signalled by ``implicit_direction``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.cache.icache import InstructionCache
+from repro.core.johnson import JohnsonSuccessorIndex, SuccessorPrediction
+from repro.core.nls_cache import NLSCache
+from repro.core.nls_entry import (
+    MISMATCH_CAUSES,
+    NLSEntryType,
+    NLSPrediction,
+    classify_nls_mismatch,
+    verify_nls_target,
+)
+from repro.core.nls_table import NLSTable
+from repro.isa.branches import BranchKind
+from repro.predictors.btb import BranchTargetBuffer, CoupledBTB
+
+#: mechanism constants (values shared with the NLS type field)
+MECH_RETURN = int(NLSEntryType.RETURN)
+MECH_CONDITIONAL = int(NLSEntryType.CONDITIONAL)
+MECH_OTHER = int(NLSEntryType.OTHER)
+
+_KIND_TO_MECH = {
+    BranchKind.RETURN: MECH_RETURN,
+    BranchKind.CONDITIONAL: MECH_CONDITIONAL,
+    BranchKind.UNCONDITIONAL: MECH_OTHER,
+    BranchKind.CALL: MECH_OTHER,
+    BranchKind.INDIRECT: MECH_OTHER,
+}
+
+
+class FetchFrontEnd(Protocol):
+    """Interface the fetch engine drives."""
+
+    #: human-readable structure name for report labels
+    name: str
+    #: ``True`` only for the oracle: the engine substitutes the true
+    #: mechanism and treats every target as matching
+    perfect: bool
+    #: ``True`` when the structure predicts direction implicitly
+    #: (Johnson's pointer) instead of deferring to the shared PHT
+    implicit_direction: bool
+
+    def predict(self, pc: int, line_way: int):
+        """Return ``(mechanism, handle)`` for the break at *pc*.
+
+        *line_way* is the cache way the line containing *pc* was just
+        fetched from (needed by line-coupled structures).  *handle* is
+        an opaque token passed back to :meth:`target_matches`.
+        """
+        ...
+
+    def target_matches(self, handle, target: int) -> bool:
+        """Would the prediction in *handle* fetch *target*?"""
+        ...
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int,
+        fall_through: int,
+        next_way: int,
+    ) -> None:
+        """Train with a resolved break.  *next_way* is the cache way
+        where the next-fetch line (target if taken, else fall-through)
+        resides after being fetched."""
+        ...
+
+
+class BTBFrontEnd:
+    """Decoupled BTB (§3): full target address + type on a tag hit."""
+
+    implicit_direction = False
+    perfect = False
+
+    def __init__(self, btb: BranchTargetBuffer) -> None:
+        self.btb = btb
+        self.name = f"btb-{btb.entries}e-{btb.associativity}w"
+
+    def predict(self, pc: int, line_way: int):
+        entry = self.btb.lookup(pc)
+        if entry is None:
+            return None, None
+        return _KIND_TO_MECH[entry.kind], entry
+
+    def target_matches(self, handle, target: int) -> bool:
+        # a BTB entry stores the full address: no residency or way
+        # checks — this is the BTB's advantage on cache misses (§7)
+        return handle is not None and handle.target == target
+
+    def predicted_address(self, handle):
+        """Full predicted address (for wrong-path modelling)."""
+        return handle.target if handle is not None else None
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int,
+        fall_through: int,
+        next_way: int,
+    ) -> None:
+        if taken:
+            self.btb.record_taken(pc, kind, target)
+        else:
+            self.btb.record_not_taken(pc, kind, target)
+
+    def flush(self) -> None:
+        """Drop all entries (context-switch modelling)."""
+        self.btb.flush()
+
+
+class NLSTableFrontEnd:
+    """The paper's NLS-table (§4.1): tag-less, decoupled from the cache."""
+
+    implicit_direction = False
+    perfect = False
+
+    def __init__(self, table: NLSTable, cache: InstructionCache) -> None:
+        self.table = table
+        self.cache = cache
+        self.name = f"nls-table-{table.entries}e"
+        #: why taken-target predictions failed (diagnostics, see
+        #: classify_nls_mismatch)
+        self.mismatch_causes = {cause: 0 for cause in MISMATCH_CAUSES}
+
+    def predict(self, pc: int, line_way: int):
+        prediction = self.table.lookup(pc)
+        if not prediction.valid:
+            return None, None
+        return int(prediction.type), prediction
+
+    def target_matches(self, handle, target: int) -> bool:
+        if handle is None:
+            self.mismatch_causes["invalid"] += 1
+            return False
+        cause = classify_nls_mismatch(handle, target, self.cache)
+        if cause is None:
+            return True
+        self.mismatch_causes[cause] += 1
+        return False
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int,
+        fall_through: int,
+        next_way: int,
+    ) -> None:
+        self.table.update(pc, kind, taken, target, next_way)
+
+    def flush(self) -> None:
+        """Drop all entries (context-switch modelling)."""
+        self.table.flush()
+
+
+class NLSCacheFrontEnd:
+    """The NLS-cache (§4.1): predictors coupled to cache lines."""
+
+    implicit_direction = False
+    perfect = False
+
+    def __init__(self, nls_cache: NLSCache) -> None:
+        self.nls_cache = nls_cache
+        self.cache = nls_cache.cache
+        self.name = (
+            f"nls-cache-{nls_cache.predictors_per_line}pl-{nls_cache.policy}"
+        )
+
+    def predict(self, pc: int, line_way: int):
+        prediction = self.nls_cache.lookup(pc, line_way)
+        if not prediction.valid:
+            return None, None
+        return int(prediction.type), prediction
+
+    def target_matches(self, handle, target: int) -> bool:
+        return handle is not None and verify_nls_target(handle, target, self.cache)
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int,
+        fall_through: int,
+        next_way: int,
+    ) -> None:
+        self.nls_cache.update(pc, kind, taken, target, next_way)
+
+    def flush(self) -> None:
+        """Drop all predictor slots (context-switch modelling)."""
+        self.nls_cache.flush()
+
+
+class JohnsonFrontEnd:
+    """Johnson's coupled successor index (§6.2): the pointer is also
+    the (one-bit) direction prediction; no type field, no return-stack
+    integration."""
+
+    implicit_direction = True
+    perfect = False
+
+    def __init__(self, johnson: JohnsonSuccessorIndex) -> None:
+        self.johnson = johnson
+        self.geometry = johnson.geometry
+        self.cache = johnson.cache
+        self.name = f"johnson-{johnson.predictors_per_line}pl"
+
+    def predict(self, pc: int, line_way: int):
+        prediction = self.johnson.lookup(pc, line_way)
+        if not prediction.valid:
+            return None, prediction
+        # every valid pointer is "follow me": mechanism OTHER
+        return MECH_OTHER, prediction
+
+    def target_matches(self, handle, target: int) -> bool:
+        prediction: SuccessorPrediction = handle
+        if prediction is None or not prediction.valid:
+            return False
+        if prediction.line_field != self.geometry.line_field(target):
+            return False
+        way = self.cache.probe(target)
+        if way is None:
+            return False
+        if self.geometry.associativity > 1 and way != prediction.way:
+            return False
+        return True
+
+    def implied_taken(self, handle, fall_through: int) -> bool:
+        """Direction implied by the pointer (invalid => not-taken)."""
+        return self.johnson.implied_taken(handle, fall_through)
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int,
+        fall_through: int,
+        next_way: int,
+    ) -> None:
+        # Johnson updates on every execution: taken writes the target
+        # pointer, not-taken the fall-through pointer
+        self.johnson.update(
+            pc,
+            kind,
+            taken,
+            target,
+            next_way if taken else 0,
+            fall_through,
+            next_way if not taken else 0,
+        )
+
+    def flush(self) -> None:
+        """Drop all successor slots (context-switch modelling)."""
+        self.johnson.flush()
+
+
+class OracleFrontEnd:
+    """Perfect fetch prediction — a lower bound for the BEP's misfetch
+    component (mispredicts can still come from the PHT and RAS)."""
+
+    implicit_direction = False
+    perfect = True
+    name = "oracle"
+
+    def predict(self, pc: int, line_way: int):
+        return MECH_OTHER, None
+
+    def target_matches(self, handle, target: int) -> bool:
+        return True
+
+    def update(self, pc, kind, taken, target, fall_through, next_way) -> None:
+        pass
+
+    def __init__(self) -> None:
+        pass
+
+
+class FallThroughFrontEnd:
+    """No fetch-prediction structure at all: every break fetches the
+    fall-through — an upper bound on the misfetch penalty."""
+
+    implicit_direction = False
+    perfect = False
+    name = "fall-through"
+
+    def predict(self, pc: int, line_way: int):
+        return None, None
+
+    def target_matches(self, handle, target: int) -> bool:
+        return False
+
+    def update(self, pc, kind, taken, target, fall_through, next_way) -> None:
+        pass
+
+
+class CoupledBTBFrontEnd:
+    """Pentium-style *coupled* BTB (§2): the conditional direction
+    comes from a 2-bit counter stored in the BTB entry, so branches
+    that miss in the BTB fall back to static not-taken prediction.
+
+    Exists to reproduce the coupled-vs-decoupled observation from the
+    authors' earlier study [2]: the decoupled design wins because
+    *every* conditional branch gets dynamic direction prediction, not
+    just the ones currently resident in the BTB.
+    """
+
+    implicit_direction = True
+    uses_ras = True
+    perfect = False
+
+    def __init__(self, btb: CoupledBTB) -> None:
+        self.btb = btb
+        self.name = f"coupled-btb-{btb.entries}e-{btb.associativity}w"
+
+    def predict(self, pc: int, line_way: int):
+        entry = self.btb.lookup(pc)
+        if entry is None:
+            return None, None
+        return _KIND_TO_MECH[entry.kind], entry
+
+    def target_matches(self, handle, target: int) -> bool:
+        return handle is not None and handle.target == target
+
+    def predicted_address(self, handle):
+        """Full predicted address (for wrong-path modelling)."""
+        return handle.target if handle is not None else None
+
+    def implied_taken(self, handle, fall_through: int) -> bool:
+        """Direction from the entry's counter; a BTB miss or a
+        non-conditional entry statically predicts not-taken."""
+        if handle is None or handle.kind != BranchKind.CONDITIONAL:
+            return False
+        if handle.counter is None:
+            return False
+        return handle.counter.taken
+
+    def update(
+        self,
+        pc: int,
+        kind: BranchKind,
+        taken: bool,
+        target: int,
+        fall_through: int,
+        next_way: int,
+    ) -> None:
+        if taken:
+            self.btb.record_taken(pc, kind, target)
+        else:
+            self.btb.record_not_taken(pc)
+
+    def flush(self) -> None:
+        """Drop all entries (context-switch modelling)."""
+        self.btb.flush()

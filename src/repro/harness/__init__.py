@@ -1,0 +1,8 @@
+"""Experiment harness: architecture configs, sweep runner, and one
+driver per table/figure of the paper (see ``python -m repro.harness``).
+"""
+
+from repro.harness.config import ArchitectureConfig
+from repro.harness.runner import simulate, sweep, run_config
+
+__all__ = ["ArchitectureConfig", "simulate", "sweep", "run_config"]

@@ -1,0 +1,98 @@
+"""Command-line interface: regenerate any table/figure of the paper.
+
+Examples::
+
+    python -m repro.harness table1
+    python -m repro.harness fig5 --instructions 500000
+    python -m repro.harness all --out results/
+    repro-harness fig7 --programs gcc cfront
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS, ExperimentResult
+from repro.workloads.profiles import paper_programs
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description=(
+            "Regenerate the tables and figures of Calder & Grunwald, "
+            "'Next Cache Line and Set Prediction' (ISCA 1995)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--programs",
+        nargs="+",
+        choices=list(paper_programs()),
+        default=None,
+        help="restrict to a subset of the six programs",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="trace length override (default: each profile's calibrated length)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to write result files into",
+    )
+    parser.add_argument(
+        "--formats",
+        nargs="+",
+        choices=("txt", "json", "csv"),
+        default=("txt",),
+        help="output formats for --out (default: txt)",
+    )
+    return parser
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> ExperimentResult:
+    function = EXPERIMENTS[name]
+    kwargs = {}
+    signature = inspect.signature(function)
+    if "programs" in signature.parameters and args.programs is not None:
+        kwargs["programs"] = args.programs
+    if "instructions" in signature.parameters and args.instructions is not None:
+        kwargs["instructions"] = args.instructions
+    return function(**kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-harness`` / ``python -m repro.harness``."""
+    args = _build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for name in names:
+        started = time.time()
+        result = _run_experiment(name, args)
+        elapsed = time.time() - started
+        print(f"=== {result.title} ===")
+        print(result.text)
+        print(f"[{name}: {elapsed:.1f}s]")
+        print()
+        if args.out:
+            from repro.harness.export import write_result
+
+            write_result(result, args.out, formats=tuple(args.formats))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,1087 @@
+"""Per-figure experiment drivers.
+
+One function per table/figure of the paper.  Each returns an
+:class:`ExperimentResult` carrying both the rendered monospace text
+(what the CLI prints and EXPERIMENTS.md records) and the raw data
+(what the tests and benchmarks assert on).
+
+All simulation experiments accept ``programs`` / ``instructions`` /
+``warmup`` so benchmarks can run scaled-down versions; defaults
+reproduce the full configuration of the paper's evaluation (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.cost.rbe import RBEModel
+from repro.cost.timing import AccessTimeModel
+from repro.harness.config import ArchitectureConfig
+from repro.harness.runner import DEFAULT_WARMUP, simulate
+from repro.harness.tables import bep_chart, format_table
+from repro.metrics.report import SimulationReport, average_reports
+from repro.workloads.corpus import generate_trace
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile, paper_programs
+from repro.workloads.stats import TraceAttributes, measure
+
+#: the paper's instruction-cache grid: {8K,16K,32K} x {direct, 4-way}
+CACHE_GRID: Tuple[Tuple[int, int], ...] = (
+    (8, 1),
+    (8, 4),
+    (16, 1),
+    (16, 4),
+    (32, 1),
+    (32, 4),
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered text plus raw data of one regenerated table/figure."""
+
+    name: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.title}\n\n{self.text}"
+
+
+def _programs(programs: Optional[Sequence[str]]) -> List[str]:
+    return list(programs) if programs is not None else list(paper_programs())
+
+
+def _run(
+    config: ArchitectureConfig,
+    program: str,
+    instructions: Optional[int],
+    warmup: float,
+) -> SimulationReport:
+    return simulate(
+        config, program, instructions=instructions, warmup_fraction=warmup
+    )
+
+
+def _average(
+    config: ArchitectureConfig,
+    programs: List[str],
+    instructions: Optional[int],
+    warmup: float,
+    label: str,
+) -> SimulationReport:
+    reports = [_run(config, prog, instructions, warmup) for prog in programs]
+    return average_reports(reports, label=label)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — measured attributes of the traced programs
+# ---------------------------------------------------------------------------
+
+
+def table1(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+) -> ExperimentResult:
+    """Regenerate Table 1 from the synthetic traces, with the paper's
+    measured row under each program for comparison."""
+    lines = [TraceAttributes.header()]
+    rows = {}
+    for name in _programs(programs):
+        profile = get_profile(name)
+        trace = generate_trace(name, instructions=instructions)
+        program = build_program(profile)
+        attributes = measure(trace, program)
+        rows[name] = attributes
+        lines.append(attributes.row())
+        paper = profile.paper
+        if paper is not None:
+            lines.append(
+                f"{'  (paper)':<10} {paper.instructions:>13,} "
+                f"{paper.pct_breaks:>7.2f} {paper.q50:>6} {paper.q90:>6} "
+                f"{paper.q99:>6} {paper.q100:>7} "
+                f"{paper.static_conditionals:>7} {paper.pct_taken:>7.2f} "
+                f"{paper.pct_cbr:>6.2f} {paper.pct_ij:>5.2f} "
+                f"{paper.pct_br:>5.2f} {paper.pct_call:>6.2f} "
+                f"{paper.pct_ret:>6.2f}"
+            )
+    return ExperimentResult(
+        name="table1",
+        title="Table 1: measured attributes of the traced programs",
+        text="\n".join(lines),
+        data={"attributes": rows},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — RBE implementation costs
+# ---------------------------------------------------------------------------
+
+
+def fig3(line_bytes: int = 32) -> ExperimentResult:
+    """Register-bit-equivalent costs of every studied structure."""
+    model = RBEModel()
+    rows: List[Tuple[str, int, float]] = []
+    data: Dict[str, float] = {}
+    for kb in (8, 16, 32, 64):
+        geometry = CacheGeometry(kb * 1024, line_bytes, 1)
+        cost = model.nls_cache_cost(geometry)
+        rows.append((cost.label, cost.storage_bits, cost.rbe))
+        data[f"nls-cache@{kb}K"] = cost.rbe
+    for entries in (512, 1024, 2048):
+        for kb in (8, 16, 32, 64):
+            geometry = CacheGeometry(kb * 1024, line_bytes, 1)
+            cost = model.nls_table_cost(entries, geometry)
+            rows.append((cost.label, cost.storage_bits, cost.rbe))
+            data[f"nls-table-{entries}@{kb}K"] = cost.rbe
+    for entries in (128, 256):
+        for assoc in (1, 2, 4):
+            cost = model.btb_cost(entries, assoc)
+            rows.append((cost.label, cost.storage_bits, cost.rbe))
+            data[f"btb-{entries}-{assoc}w"] = cost.rbe
+    text = format_table(
+        ["structure", "bits", "RBE"],
+        [(label, bits, f"{rbe:,.0f}") for label, bits, rbe in rows],
+    )
+    return ExperimentResult(
+        name="fig3",
+        title="Figure 3: register-bit-equivalent costs (Mulder et al. model)",
+        text=text,
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — NLS-cache vs NLS-table sizes, average BEP
+# ---------------------------------------------------------------------------
+
+
+def fig4(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_grid: Sequence[Tuple[int, int]] = CACHE_GRID,
+) -> ExperimentResult:
+    """Average BEP of the NLS-cache and 512/1024/2048-entry NLS-tables
+    across instruction-cache configurations."""
+    programs = _programs(programs)
+    entries_list = (512, 1024, 2048)
+    chart_rows: List[Tuple[str, float, float]] = []
+    data: Dict[str, Dict[str, float]] = {}
+    for kb, assoc in cache_grid:
+        cache_label = f"{kb}K {assoc}-way"
+        config = ArchitectureConfig(
+            frontend="nls-cache", cache_kb=kb, cache_assoc=assoc
+        )
+        report = _average(
+            config, programs, instructions, warmup, f"NLS-cache @ {cache_label}"
+        )
+        chart_rows.append((report.label, report.bep_misfetch, report.bep_mispredict))
+        data.setdefault("nls-cache", {})[cache_label] = report.bep
+        for entries in entries_list:
+            config = ArchitectureConfig(
+                frontend="nls-table",
+                entries=entries,
+                cache_kb=kb,
+                cache_assoc=assoc,
+            )
+            report = _average(
+                config,
+                programs,
+                instructions,
+                warmup,
+                f"{entries} NLS-table @ {cache_label}",
+            )
+            chart_rows.append(
+                (report.label, report.bep_misfetch, report.bep_mispredict)
+            )
+            data.setdefault(f"nls-table-{entries}", {})[cache_label] = report.bep
+    return ExperimentResult(
+        name="fig4",
+        title=(
+            "Figure 4: average branch execution penalty, NLS-cache vs "
+            "512/1024/2048-entry NLS-tables"
+        ),
+        text=bep_chart(chart_rows),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — BTB vs 1024-entry NLS-table, average BEP
+# ---------------------------------------------------------------------------
+
+
+def fig5(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_grid: Sequence[Tuple[int, int]] = CACHE_GRID,
+) -> ExperimentResult:
+    """Average BEP of the 128/256-entry BTBs (direct and 4-way) against
+    the 1024-entry NLS-table at every cache configuration.
+
+    The BTB rows are simulated at a 16K direct-mapped cache: the BTB's
+    BEP does not depend on the instruction cache (§7), which fig8
+    (CPI) and the data dict make checkable.
+    """
+    programs = _programs(programs)
+    chart_rows: List[Tuple[str, float, float]] = []
+    data: Dict[str, float] = {}
+    for entries in (128, 256):
+        for assoc in (1, 4):
+            config = ArchitectureConfig(
+                frontend="btb", entries=entries, btb_assoc=assoc, cache_kb=16
+            )
+            report = _average(
+                config,
+                programs,
+                instructions,
+                warmup,
+                f"{entries} {'direct' if assoc == 1 else f'{assoc}-way'} BTB",
+            )
+            chart_rows.append(
+                (report.label, report.bep_misfetch, report.bep_mispredict)
+            )
+            data[f"btb-{entries}-{assoc}w"] = report.bep
+    for kb, assoc in cache_grid:
+        config = ArchitectureConfig(
+            frontend="nls-table", entries=1024, cache_kb=kb, cache_assoc=assoc
+        )
+        report = _average(
+            config,
+            programs,
+            instructions,
+            warmup,
+            f"1024 NLS-table, {kb}K {'direct' if assoc == 1 else f'{assoc}-way'}",
+        )
+        chart_rows.append((report.label, report.bep_misfetch, report.bep_mispredict))
+        data[f"nls-1024@{kb}K-{assoc}w"] = report.bep
+    return ExperimentResult(
+        name="fig5",
+        title="Figure 5: average BEP, BTBs vs the 1024-entry NLS-table",
+        text=bep_chart(chart_rows),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — BTB access times
+# ---------------------------------------------------------------------------
+
+
+def fig6() -> ExperimentResult:
+    """BTB access-time estimates (CACTI-style model)."""
+    model = AccessTimeModel()
+    rows = []
+    data: Dict[str, float] = {}
+    for entries in (128, 256):
+        for assoc in (1, 2, 4):
+            t = model.access_time_ns(entries, assoc)
+            ratio = model.associativity_penalty(entries, assoc)
+            label = f"{entries}-entry {'direct' if assoc == 1 else f'{assoc}-way'}"
+            rows.append((label, f"{t:.2f}", f"{ratio:.2f}x"))
+            data[f"{entries}-{assoc}w"] = t
+    text = format_table(["BTB organisation", "access ns", "vs direct"], rows)
+    return ExperimentResult(
+        name="fig6",
+        title="Figure 6: BTB access time (Wilton-Jouppi style model)",
+        text=text,
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — per-program BEP comparison
+# ---------------------------------------------------------------------------
+
+
+def fig7_configs() -> List[Tuple[str, ArchitectureConfig]]:
+    """The ten per-program configurations of Figure 7."""
+    configs: List[Tuple[str, ArchitectureConfig]] = []
+    for entries in (128, 256):
+        for assoc in (1, 4):
+            configs.append(
+                (
+                    f"{entries} {'Direct' if assoc == 1 else '4-way'} BTB",
+                    ArchitectureConfig(
+                        frontend="btb", entries=entries, btb_assoc=assoc, cache_kb=16
+                    ),
+                )
+            )
+    for kb in (8, 16, 32):
+        for assoc in (1, 4):
+            configs.append(
+                (
+                    f"1024 NLS-table, {kb}K {'Direct' if assoc == 1 else '4-way'}",
+                    ArchitectureConfig(
+                        frontend="nls-table",
+                        entries=1024,
+                        cache_kb=kb,
+                        cache_assoc=assoc,
+                    ),
+                )
+            )
+    return configs
+
+
+def fig7(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Per-program BEP for the ten configurations of Figure 7."""
+    programs = _programs(programs)
+    configs = fig7_configs()
+    sections: List[str] = []
+    data: Dict[str, Dict[str, SimulationReport]] = {}
+    for program in programs:
+        chart_rows = []
+        for label, config in configs:
+            report = _run(config, program, instructions, warmup)
+            chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
+            data.setdefault(program, {})[label] = report
+        sections.append(bep_chart(chart_rows, title=program))
+    return ExperimentResult(
+        name="fig7",
+        title="Figure 7: per-program BEP, NLS-table vs BTB",
+        text="\n\n".join(sections),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — CPI comparison
+# ---------------------------------------------------------------------------
+
+
+def fig8(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_grid: Sequence[Tuple[int, int]] = CACHE_GRID,
+) -> ExperimentResult:
+    """Average CPI of the BTBs and the 1024-entry NLS-table, per cache
+    configuration (unlike the BEP, the CPI of every architecture moves
+    with the cache because of the 5-cycle miss penalty)."""
+    programs = _programs(programs)
+    variants: List[Tuple[str, ArchitectureConfig]] = [
+        ("128 Direct BTB", ArchitectureConfig(frontend="btb", entries=128, btb_assoc=1)),
+        ("128 4-way BTB", ArchitectureConfig(frontend="btb", entries=128, btb_assoc=4)),
+        ("256 Direct BTB", ArchitectureConfig(frontend="btb", entries=256, btb_assoc=1)),
+        ("256 4-way BTB", ArchitectureConfig(frontend="btb", entries=256, btb_assoc=4)),
+        (
+            "1024 NLS-table",
+            ArchitectureConfig(frontend="nls-table", entries=1024),
+        ),
+    ]
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for kb, assoc in cache_grid:
+        cache_label = f"{kb}K {'direct' if assoc == 1 else f'{assoc}-way'}"
+        for name, base in variants:
+            config = base.with_cache(kb, assoc)
+            report = _average(
+                config, programs, instructions, warmup, f"{name} @ {cache_label}"
+            )
+            rows.append((cache_label, name, f"{report.cpi:.4f}"))
+            data.setdefault(cache_label, {})[name] = report.cpi
+    text = format_table(["cache", "front-end", "CPI"], rows)
+    return ExperimentResult(
+        name="fig8",
+        title="Figure 8: cycles per instruction (single issue)",
+        text=text,
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §6.2 — Johnson's coupled successor-index design
+# ---------------------------------------------------------------------------
+
+
+def johnson_comparison(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+    cache_assoc: int = 1,
+) -> ExperimentResult:
+    """NLS-table vs NLS-cache vs Johnson's coupled 1-bit design."""
+    programs = _programs(programs)
+    variants = [
+        (
+            "1024 NLS-table + gshare",
+            ArchitectureConfig(
+                frontend="nls-table",
+                entries=1024,
+                cache_kb=cache_kb,
+                cache_assoc=cache_assoc,
+            ),
+        ),
+        (
+            "NLS-cache (2/line) + gshare",
+            ArchitectureConfig(
+                frontend="nls-cache", cache_kb=cache_kb, cache_assoc=cache_assoc
+            ),
+        ),
+        (
+            "Johnson successor index (1-bit)",
+            ArchitectureConfig(
+                frontend="johnson", cache_kb=cache_kb, cache_assoc=cache_assoc
+            ),
+        ),
+    ]
+    chart_rows = []
+    data: Dict[str, float] = {}
+    for label, config in variants:
+        report = _average(config, programs, instructions, warmup, label)
+        chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
+        data[label] = report.bep
+    return ExperimentResult(
+        name="johnson",
+        title=(
+            "S6.2 comparison: decoupled NLS vs Johnson's coupled "
+            f"successor-index design ({cache_kb}K {cache_assoc}-way cache)"
+        ),
+        text=bep_chart(chart_rows),
+        data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §4.1 / §7 ablations
+# ---------------------------------------------------------------------------
+
+
+def ablation_nls_cache(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+) -> ExperimentResult:
+    """NLS-cache design space: predictors per line x association
+    policy (§5.1 "one to four NLS predictors per cache line with
+    varying replacement policies")."""
+    programs = _programs(programs)
+    chart_rows = []
+    data: Dict[str, float] = {}
+    for per_line in (1, 2, 4):
+        for policy in ("partition", "lru"):
+            label = f"NLS-cache {per_line}/line {policy}"
+            config = ArchitectureConfig(
+                frontend="nls-cache",
+                cache_kb=cache_kb,
+                predictors_per_line=per_line,
+                nls_cache_policy=policy,
+            )
+            report = _average(config, programs, instructions, warmup, label)
+            chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
+            data[label] = report.bep
+    return ExperimentResult(
+        name="ablation-nls-cache",
+        title=f"NLS-cache ablation ({cache_kb}K direct-mapped cache)",
+        text=bep_chart(chart_rows),
+        data=data,
+    )
+
+
+def ablation_direction(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Direction-predictor ablation under the 1024-entry NLS-table."""
+    programs = _programs(programs)
+    chart_rows = []
+    data: Dict[str, float] = {}
+    for direction in (
+        "gshare",
+        "pan",
+        "gag",
+        "bimodal",
+        "pag",
+        "combining",
+        "taken",
+        "not-taken",
+        "btfnt",
+    ):
+        config = ArchitectureConfig(
+            frontend="nls-table", entries=1024, cache_kb=16, direction=direction
+        )
+        report = _average(config, programs, instructions, warmup, direction)
+        chart_rows.append((direction, report.bep_misfetch, report.bep_mispredict))
+        data[direction] = report.bep
+    return ExperimentResult(
+        name="ablation-direction",
+        title="Direction predictor ablation (1024 NLS-table, 16K cache)",
+        text=bep_chart(chart_rows),
+        data=data,
+    )
+
+
+def ablation_layout(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+) -> ExperimentResult:
+    """Program-layout ablation (§7: restructuring lowers the I-cache
+    miss rate, which improves the NLS architecture but not the BTB)."""
+    programs = _programs(programs)
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for layout in ("natural", "random"):
+        for name, config in (
+            (
+                "1024 NLS-table",
+                ArchitectureConfig(frontend="nls-table", entries=1024, cache_kb=cache_kb),
+            ),
+            ("128 BTB", ArchitectureConfig(frontend="btb", entries=128, cache_kb=cache_kb)),
+        ):
+            reports = [
+                simulate(
+                    config,
+                    program,
+                    instructions=instructions,
+                    warmup_fraction=warmup,
+                    layout=layout,
+                )
+                for program in programs
+            ]
+            average = average_reports(reports, label=f"{name} / {layout}")
+            rows.append(
+                (
+                    layout,
+                    name,
+                    f"{100 * average.icache_miss_rate:.2f}%",
+                    f"{average.bep_misfetch:.3f}",
+                    f"{average.bep:.3f}",
+                )
+            )
+            data.setdefault(layout, {})[name] = average.bep
+    text = format_table(
+        ["layout", "front-end", "I-miss", "BEP(misfetch)", "BEP"], rows
+    )
+    return ExperimentResult(
+        name="ablation-layout",
+        title="Layout ablation: procedure placement vs NLS/BTB BEP",
+        text=text,
+        data=data,
+    )
+
+
+def coupled_vs_decoupled(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+) -> ExperimentResult:
+    """Coupled (Pentium-style) vs decoupled BTB (§2).
+
+    In the coupled design the 2-bit direction counters live inside the
+    BTB entries, so branches that miss fall back to static prediction;
+    the decoupled design predicts *every* conditional with the shared
+    PHT — the reason the paper (and its authors' earlier study [2])
+    simulate decoupled designs.
+    """
+    programs = _programs(programs)
+    chart_rows = []
+    data: Dict[str, float] = {}
+    for entries in (128, 256):
+        for name, frontend in (
+            (f"decoupled {entries} BTB + gshare", "btb"),
+            (f"coupled {entries} BTB (2-bit in entry)", "coupled-btb"),
+        ):
+            config = ArchitectureConfig(
+                frontend=frontend, entries=entries, btb_assoc=1, cache_kb=cache_kb
+            )
+            report = _average(config, programs, instructions, warmup, name)
+            chart_rows.append((name, report.bep_misfetch, report.bep_mispredict))
+            data[name] = report.bep
+    return ExperimentResult(
+        name="coupled",
+        title="S2 comparison: coupled vs decoupled BTB direction prediction",
+        text=bep_chart(chart_rows),
+        data=data,
+    )
+
+
+def way_prediction(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    cache_kb: int = 16,
+    cache_assoc: int = 2,
+) -> ExperimentResult:
+    """Fall-through way prediction accuracy (§4.2, second approach).
+
+    Replays each trace against an associative cache carrying per-line
+    successor-way fields and reports how often the predicted way is
+    right — the figure of merit for turning an associative cache into
+    a direct-mapped-latency one on the sequential path.
+    """
+    from repro.cache.icache import InstructionCache
+    from repro.cache.setpred import FallThroughWayPredictor
+    from repro.cache.geometry import CacheGeometry
+
+    programs = _programs(programs)
+    rows = []
+    data: Dict[str, float] = {}
+    geometry = CacheGeometry(cache_kb * 1024, 32, cache_assoc)
+    for program in programs:
+        trace = generate_trace(program, instructions=instructions)
+        cache = InstructionCache(geometry)
+        predictor = FallThroughWayPredictor(cache)
+        line_bytes = geometry.line_bytes
+        previous_line = None
+        for index in range(trace.n_events):
+            start = trace.starts[index]
+            end = start + (trace.counts[index] - 1) * 4
+            line = start & ~(line_bytes - 1)
+            end_line = end & ~(line_bytes - 1)
+            while True:
+                if previous_line is not None and line == previous_line + line_bytes:
+                    predicted = predictor.predict(previous_line)
+                    way = cache.access(line).way
+                    predictor.record_outcome(predicted, way)
+                    predictor.update(previous_line, way)
+                else:
+                    way = cache.access(line).way
+                previous_line = line
+                if line == end_line:
+                    break
+                line += line_bytes
+        rows.append(
+            (
+                program,
+                predictor.predictions,
+                f"{100 * predictor.accuracy:.2f}%",
+                f"{100 * cache.miss_rate:.2f}%",
+            )
+        )
+        data[program] = predictor.accuracy
+    text = format_table(
+        ["program", "sequential fetches", "way-pred accuracy", "I-miss"], rows
+    )
+    return ExperimentResult(
+        name="way-prediction",
+        title=(
+            f"S4.2 fall-through way prediction ({cache_kb}K "
+            f"{cache_assoc}-way cache)"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+def multi_issue(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    widths: Sequence[int] = (1, 2, 4, 8),
+    cache_kb: int = 16,
+) -> ExperimentResult:
+    """Issue-width extension (§8): IPC of the equal-cost NLS-table and
+    BTB as the fetch width grows.
+
+    Penalty cycles are fixed per event, but a wider machine loses more
+    useful work per bubble, so fetch prediction quality matters more —
+    "nothing in the design of the NLS architecture appears to be a
+    problem for wide-issue architectures" (§8) becomes checkable.
+    """
+    from repro.fetch.multiissue import FetchBandwidthModel
+
+    programs = _programs(programs)
+    variants = (
+        ("1024 NLS-table", ArchitectureConfig(frontend="nls-table", entries=1024, cache_kb=cache_kb)),
+        ("128 BTB", ArchitectureConfig(frontend="btb", entries=128, cache_kb=cache_kb)),
+        ("oracle fetch", ArchitectureConfig(frontend="oracle", cache_kb=cache_kb)),
+    )
+    rows = []
+    data: Dict[str, Dict[int, float]] = {}
+    for name, config in variants:
+        per_width: Dict[int, List[float]] = {width: [] for width in widths}
+        for program in programs:
+            trace = generate_trace(program, instructions=instructions)
+            # multi-issue evaluation needs full-trace reports
+            report = config.build().run(trace, warmup_fraction=0.0)
+            for width in widths:
+                model = FetchBandwidthModel(width, config.geometry.line_bytes)
+                per_width[width].append(model.evaluate(trace, report).ipc)
+        for width in widths:
+            ipc = sum(per_width[width]) / len(per_width[width])
+            rows.append((name, width, f"{ipc:.3f}"))
+            data.setdefault(name, {})[width] = ipc
+    text = format_table(["front-end", "fetch width", "IPC"], rows)
+    return ExperimentResult(
+        name="multi-issue",
+        title="S8 extension: IPC vs fetch width (single-cycle line-limited fetch)",
+        text=text,
+        data=data,
+    )
+
+
+def address_space_scaling(
+    bits_list: Sequence[int] = (32, 40, 48, 64),
+    cache_kb: int = 16,
+) -> ExperimentResult:
+    """Address-space scaling (§7): "as the program address space
+    increases ... the area needed by the BTB would also increase.  By
+    comparison, the NLS-table design does not use a tag nor does it
+    store the full target address, so an increased address space has
+    no effect on the size of the NLS-table"."""
+    from repro.isa.geometry import AddressSpace
+
+    model = RBEModel()
+    geometry = CacheGeometry(cache_kb * 1024, 32, 1)
+    nls_cost = model.nls_table_cost(1024, geometry).rbe
+    rows = []
+    data: Dict[str, Dict[int, float]] = {"btb-128": {}, "btb-256": {}, "nls-1024": {}}
+    for bits in bits_list:
+        space = AddressSpace(bits)
+        for entries in (128, 256):
+            cost = model.btb_cost(entries, 1, space).rbe
+            rows.append((f"{bits}-bit", f"{entries}-entry BTB", f"{cost:,.0f}"))
+            data[f"btb-{entries}"][bits] = cost
+        rows.append((f"{bits}-bit", "1024-entry NLS-table", f"{nls_cost:,.0f}"))
+        data["nls-1024"][bits] = nls_cost
+    text = format_table(["address space", "structure", "RBE"], rows)
+    return ExperimentResult(
+        name="address-space",
+        title="S7: structure cost vs program address-space size",
+        text=text,
+        data=data,
+    )
+
+
+def steely_sager_comparison(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+) -> ExperimentResult:
+    """Per-entry NLS indirect prediction vs the Steely-Sager single
+    computed-goto register (§6.2), per program.
+
+    Programs with several interleaved hot indirect sites thrash the
+    single register; programs with one dominant site barely notice.
+    """
+    programs = _programs(programs)
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for program in programs:
+        for name, frontend in (
+            ("nls-table", "nls-table"),
+            ("steely-sager", "steely-sager"),
+        ):
+            config = ArchitectureConfig(
+                frontend=frontend, entries=1024, cache_kb=cache_kb, cache_assoc=1
+            )
+            report = _run(config, program, instructions, warmup)
+            indirect = report.by_kind and {
+                kind.name: counts for kind, counts in report.by_kind.items()
+            }.get("INDIRECT")
+            indirect_mp = (
+                100.0 * indirect[2] / indirect[0] if indirect and indirect[0] else 0.0
+            )
+            rows.append(
+                (program, name, f"{indirect_mp:.1f}%", f"{report.bep:.3f}")
+            )
+            data.setdefault(program, {})[name] = report.bep
+    text = format_table(
+        ["program", "indirect predictor", "IJ mispredict", "BEP"], rows
+    )
+    return ExperimentResult(
+        name="steely-sager",
+        title=(
+            "S6.2: per-entry NLS indirect prediction vs the Steely-Sager "
+            "computed-goto register"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+def calibration(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+) -> ExperimentResult:
+    """Measured-vs-paper calibration quality of the synthetic
+    workloads (value errors per column, rank agreement per attribute).
+    """
+    from repro.workloads.validation import summarise
+
+    programs = _programs(programs)
+    measured = {}
+    papers = {}
+    for name in programs:
+        profile = get_profile(name)
+        trace = generate_trace(name, instructions=instructions)
+        measured[name] = measure(trace, build_program(profile))
+        papers[name] = profile.paper
+    summary = summarise(measured, papers)
+    rows = []
+    for program, comparisons in summary.per_program.items():
+        for comparison in comparisons:
+            rows.append(
+                (
+                    program,
+                    comparison.field,
+                    f"{comparison.measured:.2f}",
+                    f"{comparison.paper:.2f}",
+                    f"{comparison.absolute_error:+.2f}",
+                )
+            )
+    lines = [format_table(["program", "column", "measured", "paper", "error"], rows)]
+    if summary.rank_correlations:
+        rank_rows = [
+            (field, f"{value:+.2f}")
+            for field, value in sorted(summary.rank_correlations.items())
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["attribute", "rank corr (programs)"],
+                rank_rows,
+                title="cross-program rank agreement with Table 1",
+            )
+        )
+        lines.append("")
+        worst = summary.worst_field
+        lines.append(
+            f"mean |error| = {summary.mean_absolute_scalar_error:.2f} points; "
+            f"worst: {worst[1]} on {worst[0]} ({worst[2]:+.2f})"
+        )
+    return ExperimentResult(
+        name="calibration",
+        title="Workload calibration: measured vs paper Table 1",
+        text="\n".join(lines),
+        data={
+            "mean_abs_error": summary.mean_absolute_scalar_error,
+            "rank_correlations": summary.rank_correlations,
+        },
+    )
+
+
+def misfetch_causes(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_sizes: Sequence[int] = (8, 16, 32),
+) -> ExperimentResult:
+    """Why NLS taken-target predictions fail, per cache size (§7).
+
+    The paper's displacement argument predicts the ``displaced``
+    bucket shrinks as the cache grows while the tag-less aliasing
+    buckets stay put; this experiment shows the distribution directly.
+    """
+    programs = _programs(programs)
+    rows = []
+    data: Dict[str, Dict[str, int]] = {}
+    for kb in cache_sizes:
+        totals = {"invalid": 0, "line-field": 0, "displaced": 0, "wrong-way": 0}
+        for program in programs:
+            trace = generate_trace(program, instructions=instructions)
+            config = ArchitectureConfig(
+                frontend="nls-table", entries=1024, cache_kb=kb, cache_assoc=1
+            )
+            engine = config.build()
+            engine.run(trace, warmup_fraction=warmup)
+            for cause, count in engine.frontend.mismatch_causes.items():
+                totals[cause] += count
+        total = sum(totals.values()) or 1
+        rows.append(
+            (
+                f"{kb}K",
+                totals["invalid"],
+                totals["line-field"],
+                totals["displaced"],
+                f"{100 * totals['displaced'] / total:.1f}%",
+            )
+        )
+        data[f"{kb}K"] = dict(totals)
+    text = format_table(
+        ["cache", "invalid", "alias/stale", "displaced", "displaced share"], rows
+    )
+    return ExperimentResult(
+        name="misfetch-causes",
+        title="NLS misfetch causes vs cache size (1024-entry table, direct mapped)",
+        text=text,
+        data=data,
+    )
+
+
+def btb_allocation(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Taken-only vs allocate-all BTB policies (§3's cited result)."""
+    programs = _programs(programs)
+    chart_rows = []
+    data: Dict[str, float] = {}
+    for entries in (128, 256):
+        for allocate in ("taken-only", "all"):
+            config = ArchitectureConfig(
+                frontend="btb", entries=entries, btb_allocate=allocate, cache_kb=16
+            )
+            label = f"{entries} BTB, allocate {allocate}"
+            report = _average(config, programs, instructions, warmup, label)
+            chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
+            data[label] = report.bep
+    return ExperimentResult(
+        name="btb-allocation",
+        title="S3: BTB allocation policy (taken-only vs all branches)",
+        text=bep_chart(chart_rows),
+        data=data,
+    )
+
+
+def ras_depth(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    depths: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> ExperimentResult:
+    """Return-stack depth sweep (the Kaeli-Emma structure both
+    architectures rely on, §3)."""
+    from repro.isa.branches import BranchKind
+
+    programs = _programs(programs)
+    rows = []
+    data: Dict[int, float] = {}
+    for depth in depths:
+        mispredicted = 0
+        executed = 0
+        for program in programs:
+            config = ArchitectureConfig(
+                frontend="nls-table", entries=1024, cache_kb=16, ras_entries=depth
+            )
+            report = _run(config, program, instructions, warmup)
+            ex, mf, mp = report.by_kind[BranchKind.RETURN]
+            executed += ex
+            mispredicted += mp
+        rate = 100.0 * mispredicted / executed if executed else 0.0
+        rows.append((depth, executed, f"{rate:.2f}%"))
+        data[depth] = rate
+    text = format_table(["RAS entries", "returns", "return mispredict"], rows)
+    return ExperimentResult(
+        name="ras-depth",
+        title="Return-address-stack depth sweep (1024 NLS-table, 16K cache)",
+        text=text,
+        data=data,
+    )
+
+
+def line_size(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    line_sizes: Sequence[int] = (16, 32, 64),
+) -> ExperimentResult:
+    """Cache line-size sweep: longer lines shrink the NLS line field
+    (fewer sets) but raise per-miss cost and change the fall-through
+    packing; the paper fixes 32-byte lines (§5.1)."""
+    programs = _programs(programs)
+    rows = []
+    data: Dict[int, Dict[str, float]] = {}
+    model = RBEModel()
+    for line_bytes in line_sizes:
+        config = ArchitectureConfig(
+            frontend="nls-table", entries=1024, cache_kb=16, line_bytes=line_bytes
+        )
+        report = _average(
+            config, programs, instructions, warmup, f"{line_bytes}B lines"
+        )
+        entry_bits = model.nls_entry_bits(config.geometry)
+        rows.append(
+            (
+                f"{line_bytes}B",
+                entry_bits,
+                f"{100 * report.icache_miss_rate:.2f}%",
+                f"{report.bep_misfetch:.3f}",
+                f"{report.bep:.3f}",
+            )
+        )
+        data[line_bytes] = {"bep": report.bep, "entry_bits": entry_bits}
+    text = format_table(
+        ["line size", "NLS entry bits", "I-miss", "BEP(misfetch)", "BEP"], rows
+    )
+    return ExperimentResult(
+        name="line-size",
+        title="Line-size sweep (1024 NLS-table, 16K direct cache)",
+        text=text,
+        data=data,
+    )
+
+
+def context_switch(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    intervals: Sequence[Optional[int]] = (None, 500_000, 100_000, 25_000),
+) -> ExperimentResult:
+    """Context-switch sensitivity: BEP under periodic full state
+    flushes (I-cache, front-end, PHT, return stack).
+
+    The paper's single-process traces never flush; this study shows
+    how quickly each architecture re-learns.  Warmup is disabled —
+    cold restarts are the effect being measured.
+    """
+    programs = _programs(programs)
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for interval in intervals:
+        label = "never" if interval is None else f"every {interval:,}"
+        for name, frontend, kwargs in (
+            ("1024 NLS-table", "nls-table", {"entries": 1024}),
+            ("128 BTB", "btb", {"entries": 128}),
+        ):
+            config = ArchitectureConfig(
+                frontend=frontend, cache_kb=16, flush_interval=interval, **kwargs
+            )
+            report = _average(config, programs, instructions, 0.0, name)
+            rows.append(
+                (
+                    label,
+                    name,
+                    f"{100 * report.icache_miss_rate:.2f}%",
+                    f"{report.bep:.3f}",
+                )
+            )
+            data.setdefault(label, {})[name] = report.bep
+    text = format_table(["flush interval", "front-end", "I-miss", "BEP"], rows)
+    return ExperimentResult(
+        name="context-switch",
+        title="Context-switch sensitivity (periodic full state flush)",
+        text=text,
+        data=data,
+    )
+
+
+#: registry used by the CLI
+EXPERIMENTS = {
+    "table1": table1,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "johnson": johnson_comparison,
+    "ablation-nls-cache": ablation_nls_cache,
+    "ablation-direction": ablation_direction,
+    "ablation-layout": ablation_layout,
+    "coupled": coupled_vs_decoupled,
+    "way-prediction": way_prediction,
+    "multi-issue": multi_issue,
+    "address-space": address_space_scaling,
+    "steely-sager": steely_sager_comparison,
+    "calibration": calibration,
+    "misfetch-causes": misfetch_causes,
+    "btb-allocation": btb_allocation,
+    "ras-depth": ras_depth,
+    "line-size": line_size,
+    "context-switch": context_switch,
+}

@@ -1,0 +1,105 @@
+"""Machine-readable export of experiment results.
+
+``ExperimentResult.data`` holds the raw series each figure renders;
+this module writes them as JSON (full fidelity) or flat CSV (one row
+per leaf value) so external plotting tools can regenerate the paper's
+figures graphically.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.harness.experiments import ExperimentResult
+
+
+def _jsonable(value):
+    """Convert experiment data values into JSON-encodable objects."""
+    if hasattr(value, "summary") and hasattr(value, "bep"):
+        # SimulationReport-like: export the derived metrics
+        return {
+            "label": value.label,
+            "program": value.program,
+            "pct_misfetched": value.pct_misfetched,
+            "pct_mispredicted": value.pct_mispredicted,
+            "bep": value.bep,
+            "bep_misfetch": value.bep_misfetch,
+            "bep_mispredict": value.bep_mispredict,
+            "icache_miss_rate": value.icache_miss_rate,
+            "cpi": value.cpi,
+        }
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Serialise *result* (name, title, data) to a JSON string."""
+    return json.dumps(
+        {
+            "name": result.name,
+            "title": result.title,
+            "data": _jsonable(result.data),
+        },
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def _flatten(prefix: Tuple[str, ...], value) -> Iterator[Tuple[Tuple[str, ...], object]]:
+    value = _jsonable(value)
+    if isinstance(value, dict):
+        for key, inner in value.items():
+            yield from _flatten(prefix + (str(key),), inner)
+    elif isinstance(value, list):
+        for position, inner in enumerate(value):
+            yield from _flatten(prefix + (str(position),), inner)
+    else:
+        yield prefix, value
+
+
+def to_csv_rows(result: ExperimentResult) -> List[List[object]]:
+    """Flatten *result*'s data into ``[key parts..., value]`` rows."""
+    rows: List[List[object]] = []
+    for key, value in _flatten((), result.data):
+        rows.append([result.name, *key, value])
+    return rows
+
+
+def write_result(
+    result: ExperimentResult,
+    directory: str,
+    formats: Tuple[str, ...] = ("txt", "json", "csv"),
+) -> List[str]:
+    """Write *result* into *directory* in the requested formats;
+    returns the written paths."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    if "txt" in formats:
+        path = os.path.join(directory, f"{result.name}.txt")
+        with open(path, "w") as handle:
+            handle.write(str(result) + "\n")
+        written.append(path)
+    if "json" in formats:
+        path = os.path.join(directory, f"{result.name}.json")
+        with open(path, "w") as handle:
+            handle.write(to_json(result) + "\n")
+        written.append(path)
+    if "csv" in formats:
+        path = os.path.join(directory, f"{result.name}.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            for row in to_csv_rows(result):
+                writer.writerow(row)
+        written.append(path)
+    return written

@@ -1,0 +1,86 @@
+"""Sweep runner: simulate (config × program) grids.
+
+Traces are memoised by :mod:`repro.workloads.corpus`, so a sweep pays
+the trace-generation cost once per program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.harness.config import ArchitectureConfig
+from repro.metrics.report import SimulationReport
+from repro.workloads.corpus import generate_trace
+from repro.workloads.trace import Trace
+
+
+#: default warmup fraction — the first 30% of every trace trains the
+#: structures without being counted (see FetchEngine.run)
+DEFAULT_WARMUP = 0.30
+
+
+def run_config(
+    config: ArchitectureConfig,
+    trace: Trace,
+    label: Optional[str] = None,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> SimulationReport:
+    """Simulate an already-generated *trace* under *config*."""
+    engine = config.build()
+    return engine.run(
+        trace,
+        label=label if label is not None else config.label(),
+        warmup_fraction=warmup_fraction,
+    )
+
+
+def simulate(
+    config: ArchitectureConfig,
+    program: Union[str, Trace],
+    instructions: Optional[int] = None,
+    seed: Optional[int] = None,
+    layout: str = "natural",
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> SimulationReport:
+    """Simulate calibrated *program* (by name, or a prebuilt trace)
+    under *config* and return the report."""
+    if isinstance(program, Trace):
+        trace = program
+    else:
+        trace = generate_trace(
+            program, instructions=instructions, seed=seed, layout=layout
+        )
+    return run_config(config, trace, warmup_fraction=warmup_fraction)
+
+
+def sweep(
+    configs: Sequence[ArchitectureConfig],
+    programs: Iterable[str],
+    instructions: Optional[int] = None,
+    seed: Optional[int] = None,
+    layout: str = "natural",
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> Dict[str, List[SimulationReport]]:
+    """Simulate every config on every program.
+
+    Returns ``{config_label: [report_per_program, ...]}`` with program
+    order preserved.
+    """
+    programs = list(programs)
+    results: Dict[str, List[SimulationReport]] = {}
+    for config in configs:
+        label = config.label()
+        per_program: List[SimulationReport] = []
+        for program in programs:
+            per_program.append(
+                simulate(
+                    config,
+                    program,
+                    instructions=instructions,
+                    seed=seed,
+                    layout=layout,
+                    warmup_fraction=warmup_fraction,
+                )
+            )
+        results[label] = per_program
+    return results

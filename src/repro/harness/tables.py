@@ -1,0 +1,78 @@
+"""ASCII rendering of tables and stacked-bar figures.
+
+The paper's evaluation figures are stacked bar charts (misfetch on
+top, mispredict below).  These helpers render the same data as
+monospace text so every experiment can be regenerated and eyeballed in
+a terminal or committed to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render *rows* as an aligned monospace table."""
+    rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for position, value in enumerate(row):
+            widths[position] = max(widths[position], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(value.rjust(widths[i]) for i, value in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def stacked_bep_bar(
+    misfetch: float,
+    mispredict: float,
+    scale: float = 60.0,
+    maximum: float = 1.5,
+) -> str:
+    """One stacked BEP bar: ``#`` for the mispredict part (the lower
+    segment in the paper's figures), ``+`` for the misfetch part."""
+    mp_cells = int(round(min(mispredict, maximum) / maximum * scale))
+    mf_cells = int(round(min(misfetch, maximum) / maximum * scale))
+    return "#" * mp_cells + "+" * mf_cells
+
+
+def bep_chart(
+    entries: Sequence[tuple],
+    title: Optional[str] = None,
+    scale: float = 60.0,
+    maximum: Optional[float] = None,
+) -> str:
+    """Render ``(label, misfetch_bep, mispredict_bep)`` rows as a
+    horizontal stacked bar chart with a numeric BEP column."""
+    entries = list(entries)
+    if maximum is None:
+        peak = max((mf + mp for _, mf, mp in entries), default=1.0)
+        maximum = max(peak, 1e-9)
+    width = max((len(label) for label, _, _ in entries), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    lines.append(f"{'':{width}}  BEP    (# mispredict, + misfetch)")
+    for label, misfetch, mispredict in entries:
+        bar = stacked_bep_bar(misfetch, mispredict, scale=scale, maximum=maximum)
+        lines.append(f"{label:{width}}  {misfetch + mispredict:5.3f}  {bar}")
+    return "\n".join(lines)

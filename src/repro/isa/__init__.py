@@ -1,0 +1,36 @@
+"""Instruction-set model used by the trace generator and simulators.
+
+The paper simulates a RISC machine with 4-byte instructions and 32-byte
+instruction-cache lines (eight instructions per line).  This package
+defines the branch taxonomy used throughout the reproduction (§5,
+Table 1 of the paper distinguishes conditional branches, indirect
+jumps, unconditional branches, calls and returns), the instruction
+geometry constants, and the address arithmetic shared by the cache and
+the predictors.
+"""
+
+from repro.isa.branches import (
+    BranchKind,
+    BREAK_KINDS,
+    is_break,
+    uses_return_stack,
+    target_known_at_decode,
+)
+from repro.isa.geometry import (
+    INSTRUCTION_BYTES,
+    AddressSpace,
+    align_instruction,
+    instruction_index,
+)
+
+__all__ = [
+    "BranchKind",
+    "BREAK_KINDS",
+    "is_break",
+    "uses_return_stack",
+    "target_known_at_decode",
+    "INSTRUCTION_BYTES",
+    "AddressSpace",
+    "align_instruction",
+    "instruction_index",
+]

@@ -1,0 +1,82 @@
+"""Branch taxonomy.
+
+Table 1 of the paper breaks "breaks in control flow" into five classes:
+conditional branches (CBr), indirect jumps (IJ), unconditional branches
+(Br), procedure calls (Call) and procedure returns (Ret).  The NLS
+type field (§4) collapses these into four prediction sources:
+
+======  =======================  ==========================
+type    branch class             prediction source
+======  =======================  ==========================
+``00``  invalid entry            —
+``01``  return                   return stack
+``10``  conditional branch       NLS entry, conditional on PHT
+``11``  other branches           always use NLS entry
+======  =======================  ==========================
+
+This module defines the five-way dynamic taxonomy; the two-bit NLS
+encoding lives with the NLS entry itself (:mod:`repro.core.nls_entry`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BranchKind(enum.IntEnum):
+    """Dynamic instruction classes that can break control flow.
+
+    ``NOT_A_BRANCH`` is included so that trace records and fetch-engine
+    interfaces can use a single enum for every instruction class.
+    """
+
+    NOT_A_BRANCH = 0
+    #: conditional direct branch (taken or not-taken per execution)
+    CONDITIONAL = 1
+    #: unconditional direct branch (always taken)
+    UNCONDITIONAL = 2
+    #: direct procedure call (always taken, pushes a return address)
+    CALL = 3
+    #: procedure return (always taken, pops the return stack)
+    RETURN = 4
+    #: indirect jump through a register (always taken, moving target)
+    INDIRECT = 5
+
+
+#: The branch classes counted as "breaks" in Table 1 of the paper.
+BREAK_KINDS = frozenset(
+    {
+        BranchKind.CONDITIONAL,
+        BranchKind.UNCONDITIONAL,
+        BranchKind.CALL,
+        BranchKind.RETURN,
+        BranchKind.INDIRECT,
+    }
+)
+
+
+def is_break(kind: BranchKind) -> bool:
+    """Return ``True`` when *kind* can break sequential control flow."""
+    return kind != BranchKind.NOT_A_BRANCH
+
+
+def uses_return_stack(kind: BranchKind) -> bool:
+    """Return ``True`` when the fetch engine predicts *kind* with the
+    32-entry return-address stack rather than the NLS/BTB entry."""
+    return kind == BranchKind.RETURN
+
+
+def target_known_at_decode(kind: BranchKind) -> bool:
+    """Return ``True`` when the branch target can be computed in the
+    decode stage (PC-relative or absolute-immediate branches).
+
+    For these branches a wrong next-fetch prediction costs only the
+    one-cycle *misfetch* penalty.  Indirect jumps and returns produce
+    their target from a register or the stack, so a wrong prediction
+    for them is a full *mispredict* (§5.2 accounting).
+    """
+    return kind in (
+        BranchKind.CONDITIONAL,
+        BranchKind.UNCONDITIONAL,
+        BranchKind.CALL,
+    )

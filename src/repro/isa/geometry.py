@@ -1,0 +1,68 @@
+"""Instruction and address-space geometry.
+
+The paper's machine model fixes instructions at 4 bytes and cache lines
+at 32 bytes (§5.1).  Addresses are byte addresses in a 32-bit address
+space; the RBE cost model (§6) assumes 30-bit stored branch targets
+(32-bit addresses with the two always-zero low bits dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes per instruction (fixed-width RISC encoding, §5.1).
+INSTRUCTION_BYTES = 4
+
+
+def align_instruction(address: int) -> int:
+    """Round *address* down to an instruction boundary."""
+    return address & ~(INSTRUCTION_BYTES - 1)
+
+
+def instruction_index(address: int) -> int:
+    """Return the word index of *address* (address divided by 4).
+
+    The NLS-table is indexed by "the lower order bits of the branch
+    instruction's address" (§4.1); because the two lowest bits are
+    always zero the useful bits start at the word index.
+    """
+    return address >> 2
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """A program address space.
+
+    The reproduction keeps the paper's 32-bit assumption but makes it a
+    parameter so the "larger address space poses problems for BTBs but
+    is inconsequential for NLS" argument (§7) can be demonstrated by
+    sweeping ``bits``.
+    """
+
+    bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not 16 <= self.bits <= 64:
+            raise ValueError(f"address space bits must be in [16, 64], got {self.bits}")
+
+    @property
+    def size(self) -> int:
+        """Total number of byte addresses."""
+        return 1 << self.bits
+
+    @property
+    def target_bits(self) -> int:
+        """Bits needed to store a full branch target.
+
+        Instructions are 4-byte aligned so the two low bits are never
+        stored (the paper stores 30-bit targets in a 32-bit space).
+        """
+        return self.bits - 2
+
+    def contains(self, address: int) -> bool:
+        """Return ``True`` when *address* is representable."""
+        return 0 <= address < self.size
+
+    def wrap(self, address: int) -> int:
+        """Wrap *address* into the space (modular arithmetic)."""
+        return address & (self.size - 1)

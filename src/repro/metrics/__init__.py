@@ -1,0 +1,12 @@
+"""Performance metrics: misfetch/mispredict rates, BEP and CPI (§5.2)."""
+
+from repro.metrics.counters import KindCounters, SimulationCounters
+from repro.metrics.report import PenaltyModel, SimulationReport, average_reports
+
+__all__ = [
+    "KindCounters",
+    "SimulationCounters",
+    "PenaltyModel",
+    "SimulationReport",
+    "average_reports",
+]

@@ -1,0 +1,88 @@
+"""Raw event counters collected by the fetch engine.
+
+Every executed break is classified as exactly one of correct /
+misfetched / mispredicted ("a mispredicted branch is never counted as
+a misfetched branch and vice versa", §5.2), tallied per branch kind so
+reports can attribute penalties (e.g. the indirect-jump mispredict
+variation discussed with Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.branches import BranchKind
+
+
+@dataclass
+class KindCounters:
+    """Outcome tallies for one branch kind."""
+
+    executed: int = 0
+    misfetched: int = 0
+    mispredicted: int = 0
+
+    @property
+    def correct(self) -> int:
+        """Breaks that were fetched and predicted correctly."""
+        return self.executed - self.misfetched - self.mispredicted
+
+
+@dataclass
+class SimulationCounters:
+    """Everything a simulation run counts."""
+
+    n_instructions: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    by_kind: Dict[BranchKind, KindCounters] = field(
+        default_factory=lambda: {
+            kind: KindCounters() for kind in BranchKind if kind != BranchKind.NOT_A_BRANCH
+        }
+    )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_breaks(self) -> int:
+        """Total executed break instructions."""
+        return sum(counter.executed for counter in self.by_kind.values())
+
+    @property
+    def misfetches(self) -> int:
+        """Total misfetched breaks."""
+        return sum(counter.misfetched for counter in self.by_kind.values())
+
+    @property
+    def mispredicts(self) -> int:
+        """Total mispredicted breaks."""
+        return sum(counter.mispredicted for counter in self.by_kind.values())
+
+    @property
+    def icache_miss_rate(self) -> float:
+        """Instruction-cache miss rate over line-granularity accesses."""
+        if self.icache_accesses == 0:
+            return 0.0
+        return self.icache_misses / self.icache_accesses
+
+    # ------------------------------------------------------------------
+
+    def record(self, kind: BranchKind, misfetched: bool, mispredicted: bool) -> None:
+        """Tally one resolved break."""
+        if misfetched and mispredicted:
+            raise ValueError("a break cannot be both misfetched and mispredicted")
+        counter = self.by_kind[kind]
+        counter.executed += 1
+        if misfetched:
+            counter.misfetched += 1
+        elif mispredicted:
+            counter.mispredicted += 1
+
+    def check(self) -> None:
+        """Internal-consistency assertions (used by tests)."""
+        for kind, counter in self.by_kind.items():
+            if counter.misfetched + counter.mispredicted > counter.executed:
+                raise ValueError(f"{kind.name}: outcomes exceed executions")
+        if self.icache_misses > self.icache_accesses:
+            raise ValueError("more cache misses than accesses")

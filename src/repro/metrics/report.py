@@ -1,0 +1,174 @@
+"""Derived performance metrics: %MfB, %MpB, BEP and CPI.
+
+The paper's definitions (§5.2):
+
+* ``BEP = (%MfB × misfetch_penalty + %MpB × mispredict_penalty) / 100``
+  — the average penalty cycles per executed break;
+* ``CPI = (N + BEP × #branches + #icache_misses × miss_penalty) / N``
+  for a single-issue machine (CPI >= 1; no data cache, no other
+  hazards).
+
+Default penalties follow the paper: 1-cycle misfetch, 4-cycle
+mispredict, 5-cycle instruction-cache miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.isa.branches import BranchKind
+from repro.metrics.counters import SimulationCounters
+
+
+@dataclass(frozen=True)
+class PenaltyModel:
+    """Cycle costs of the three penalty events."""
+
+    misfetch: float = 1.0
+    mispredict: float = 4.0
+    icache_miss: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in ("misfetch", "mispredict", "icache_miss"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} penalty must be non-negative")
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """All derived metrics of one simulation run."""
+
+    label: str
+    program: str
+    n_instructions: int
+    n_breaks: int
+    misfetches: int
+    mispredicts: int
+    icache_accesses: int
+    icache_misses: int
+    penalties: PenaltyModel = field(default_factory=PenaltyModel)
+    #: optional per-kind (executed, misfetched, mispredicted) breakdown
+    by_kind: Optional[Dict[BranchKind, tuple]] = None
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_counters(
+        cls,
+        counters: SimulationCounters,
+        label: str = "",
+        program: str = "",
+        penalties: Optional[PenaltyModel] = None,
+    ) -> "SimulationReport":
+        """Derive a report from raw counters."""
+        return cls(
+            label=label,
+            program=program,
+            n_instructions=counters.n_instructions,
+            n_breaks=counters.n_breaks,
+            misfetches=counters.misfetches,
+            mispredicts=counters.mispredicts,
+            icache_accesses=counters.icache_accesses,
+            icache_misses=counters.icache_misses,
+            penalties=penalties or PenaltyModel(),
+            by_kind={
+                kind: (c.executed, c.misfetched, c.mispredicted)
+                for kind, c in counters.by_kind.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pct_misfetched(self) -> float:
+        """%MfB — misfetched breaks per hundred executed breaks."""
+        if self.n_breaks == 0:
+            return 0.0
+        return 100.0 * self.misfetches / self.n_breaks
+
+    @property
+    def pct_mispredicted(self) -> float:
+        """%MpB — mispredicted breaks per hundred executed breaks."""
+        if self.n_breaks == 0:
+            return 0.0
+        return 100.0 * self.mispredicts / self.n_breaks
+
+    @property
+    def bep_misfetch(self) -> float:
+        """Misfetch component of the BEP (the upper bar segment in the
+        paper's figures)."""
+        return self.pct_misfetched * self.penalties.misfetch / 100.0
+
+    @property
+    def bep_mispredict(self) -> float:
+        """Mispredict component of the BEP (the lower bar segment)."""
+        return self.pct_mispredicted * self.penalties.mispredict / 100.0
+
+    @property
+    def bep(self) -> float:
+        """Branch execution penalty — average penalty cycles/break."""
+        return self.bep_misfetch + self.bep_mispredict
+
+    @property
+    def icache_miss_rate(self) -> float:
+        """Instruction-cache miss rate."""
+        if self.icache_accesses == 0:
+            return 0.0
+        return self.icache_misses / self.icache_accesses
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction (single issue, §5.2 definition)."""
+        if self.n_instructions == 0:
+            return 0.0
+        penalty_cycles = (
+            self.bep * self.n_breaks
+            + self.icache_misses * self.penalties.icache_miss
+        )
+        return (self.n_instructions + penalty_cycles) / self.n_instructions
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.label:<34} {self.program:<9} "
+            f"%MfB={self.pct_misfetched:5.2f} %MpB={self.pct_mispredicted:5.2f} "
+            f"BEP={self.bep:5.3f} miss={100 * self.icache_miss_rate:5.2f}% "
+            f"CPI={self.cpi:6.4f}"
+        )
+
+
+def average_reports(
+    reports: Iterable[SimulationReport], label: str = "average"
+) -> SimulationReport:
+    """Average a set of per-program reports into one, the way the
+    paper's "overall average" figures do: the *rates* (%MfB, %MpB, and
+    miss rate) are averaged with equal program weight, then re-expressed
+    over the summed populations so derived metrics stay consistent.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("cannot average zero reports")
+    n = len(reports)
+    penalties = reports[0].penalties
+    mean_mf = sum(r.pct_misfetched for r in reports) / n
+    mean_mp = sum(r.pct_mispredicted for r in reports) / n
+    mean_miss = sum(r.icache_miss_rate for r in reports) / n
+    # reconstruct absolute counts over a nominal population so the
+    # report's derived properties reproduce the averaged rates exactly
+    total_breaks = sum(r.n_breaks for r in reports)
+    total_instructions = sum(r.n_instructions for r in reports)
+    total_accesses = sum(r.icache_accesses for r in reports)
+    return SimulationReport(
+        label=label,
+        program=f"mean[{n}]",
+        n_instructions=total_instructions,
+        n_breaks=total_breaks,
+        misfetches=int(round(mean_mf * total_breaks / 100.0)),
+        mispredicts=int(round(mean_mp * total_breaks / 100.0)),
+        icache_accesses=total_accesses,
+        icache_misses=int(round(mean_miss * total_accesses)),
+        penalties=penalties,
+    )

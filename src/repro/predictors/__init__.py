@@ -1,0 +1,53 @@
+"""Branch-direction and branch-target predictor substrates.
+
+Both the BTB and NLS architectures in the paper are *decoupled*: the
+conditional-branch direction comes from a shared pattern history table
+(McFarling's gshare — global history XOR PC into a 4096-entry table of
+2-bit counters) and returns come from a 32-entry return-address stack,
+while the BTB / NLS structure only supplies the taken-target location
+and the branch type (§3, §4).
+
+This package provides those shared components plus the BTB itself and
+several PHT variants used for ablations.
+"""
+
+from repro.predictors.base import DirectionPredictor
+from repro.predictors.counters import SaturatingCounter, CounterArray
+from repro.predictors.pht import (
+    BimodalPredictor,
+    CombiningPredictor,
+    GAgPredictor,
+    GSharePredictor,
+    GlobalHistoryRegister,
+    PAgPredictor,
+    PanDegeneratePredictor,
+    make_direction_predictor,
+)
+from repro.predictors.static_ import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BTFNTPredictor,
+)
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.btb import BranchTargetBuffer, BTBEntry, CoupledBTB
+
+__all__ = [
+    "DirectionPredictor",
+    "SaturatingCounter",
+    "CounterArray",
+    "GlobalHistoryRegister",
+    "GSharePredictor",
+    "GAgPredictor",
+    "PanDegeneratePredictor",
+    "BimodalPredictor",
+    "PAgPredictor",
+    "CombiningPredictor",
+    "make_direction_predictor",
+    "AlwaysTakenPredictor",
+    "AlwaysNotTakenPredictor",
+    "BTFNTPredictor",
+    "ReturnAddressStack",
+    "BranchTargetBuffer",
+    "BTBEntry",
+    "CoupledBTB",
+]

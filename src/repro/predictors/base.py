@@ -1,0 +1,29 @@
+"""Common predictor interfaces."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class DirectionPredictor(Protocol):
+    """Predicts taken/not-taken for conditional branches.
+
+    The fetch engine calls :meth:`predict` at fetch time and
+    :meth:`update` once the branch resolves; trace-driven simulation
+    performs both back-to-back, which models an in-order machine with
+    resolution-time predictor update.
+    """
+
+    def predict(self, pc: int, target: int) -> bool:
+        """Return ``True`` to predict taken.
+
+        *target* is supplied so static direction heuristics (e.g.
+        backward-taken/forward-not-taken) can inspect the branch
+        displacement; dynamic predictors ignore it.
+        """
+        ...
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the predictor with the resolved outcome."""
+        ...

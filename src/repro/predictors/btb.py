@@ -1,0 +1,181 @@
+"""Branch target buffers.
+
+:class:`BranchTargetBuffer` is the *decoupled* design the paper
+simulates (§3): a small associative cache, indexed and tagged by the
+branch address, holding the full taken-target address and the branch
+type.  Only taken branches are allocated; a branch that later executes
+not-taken keeps its entry ("we leave the entry in the BTB").  The
+direction of conditional branches comes from the shared PHT, never
+from the BTB.
+
+:class:`CoupledBTB` is the Pentium-style *coupled* variant (§2):
+direction prediction is a 2-bit counter stored in the BTB entry, so
+branches that miss in the BTB must fall back to static prediction.
+It exists to reproduce the coupled-vs-decoupled comparison from the
+authors' earlier work [2].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.branches import BranchKind
+from repro.isa.geometry import instruction_index
+from repro.predictors.replacement_util import check_btb_shape
+from repro.predictors.counters import SaturatingCounter
+
+
+@dataclass
+class BTBEntry:
+    """One BTB entry: full tag, full taken-target address, branch type.
+
+    The coupled variant additionally carries a 2-bit counter.
+    """
+
+    tag: int
+    target: int
+    kind: BranchKind
+    counter: Optional[SaturatingCounter] = None
+
+
+class BranchTargetBuffer:
+    """Decoupled BTB with LRU replacement.
+
+    ``allocate`` selects the allocation policy: ``"taken-only"`` (the
+    paper's choice — "we store only taken branches in the BTB, since
+    previous studies have shown this to be more effective", §3) or
+    ``"all"`` (not-taken direct branches also allocate, storing their
+    decode-computed taken target, at the price of displacing useful
+    taken entries).
+    """
+
+    _ALLOCATE = ("taken-only", "all")
+
+    def __init__(
+        self,
+        entries: int = 128,
+        associativity: int = 1,
+        allocate: str = "taken-only",
+    ) -> None:
+        check_btb_shape(entries, associativity)
+        if allocate not in self._ALLOCATE:
+            raise ValueError(
+                f"unknown allocate policy {allocate!r}; expected {self._ALLOCATE}"
+            )
+        self.allocate = allocate
+        self.entries = entries
+        self.associativity = associativity
+        self.n_sets = entries // associativity
+        self._set_mask = self.n_sets - 1
+        self._set_bits = self.n_sets.bit_length() - 1
+        self._sets: List[List[BTBEntry]] = [[] for _ in range(self.n_sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+
+    def _index_tag(self, pc: int) -> tuple:
+        word = instruction_index(pc)
+        return word & self._set_mask, word >> self._set_bits
+
+    def lookup(self, pc: int) -> Optional[BTBEntry]:
+        """Return the entry for *pc*, refreshing its LRU position, or
+        ``None`` on a miss."""
+        set_index, tag = self._index_tag(pc)
+        entries = self._sets[set_index]
+        self.lookups += 1
+        for position, entry in enumerate(entries):
+            if entry.tag == tag:
+                self.hits += 1
+                if position:
+                    del entries[position]
+                    entries.insert(0, entry)
+                return entry
+        return None
+
+    def probe(self, pc: int) -> Optional[BTBEntry]:
+        """Like :meth:`lookup` but without touching LRU or statistics."""
+        set_index, tag = self._index_tag(pc)
+        for entry in self._sets[set_index]:
+            if entry.tag == tag:
+                return entry
+        return None
+
+    def record_taken(self, pc: int, kind: BranchKind, target: int) -> None:
+        """Allocate or update the entry for a branch that executed
+        taken (the only event that writes the BTB, §3)."""
+        set_index, tag = self._index_tag(pc)
+        entries = self._sets[set_index]
+        for position, entry in enumerate(entries):
+            if entry.tag == tag:
+                entry.target = target
+                entry.kind = kind
+                if position:
+                    del entries[position]
+                    entries.insert(0, entry)
+                return
+        entry = BTBEntry(tag=tag, target=target, kind=kind)
+        entries.insert(0, entry)
+        if len(entries) > self.associativity:
+            entries.pop()
+
+    def record_not_taken(
+        self, pc: int, kind: BranchKind = BranchKind.CONDITIONAL, target: int = 0
+    ) -> None:
+        """Record a not-taken execution.
+
+        Under ``taken-only`` this is a no-op ("we leave the entry in
+        the BTB"); under ``all`` the decode-computed taken target is
+        allocated/updated like a taken execution.
+        """
+        if self.allocate == "all" and target:
+            self.record_taken(pc, kind, target)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when never looked up)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def occupancy(self) -> int:
+        """Number of valid entries currently stored."""
+        return sum(len(entries) for entries in self._sets)
+
+    def flush(self) -> None:
+        """Invalidate every entry (not the statistics)."""
+        self._sets = [[] for _ in range(self.n_sets)]
+
+
+class CoupledBTB(BranchTargetBuffer):
+    """Pentium-style coupled BTB: the 2-bit direction counter lives in
+    the entry, so only resident branches get dynamic prediction."""
+
+    def predict_direction(self, pc: int) -> Optional[bool]:
+        """Direction prediction for *pc*, or ``None`` on a BTB miss
+        (the caller falls back to static prediction)."""
+        entry = self.probe(pc)
+        if entry is None or entry.kind != BranchKind.CONDITIONAL:
+            return None
+        assert entry.counter is not None
+        return entry.counter.taken
+
+    def record_taken(self, pc: int, kind: BranchKind, target: int) -> None:
+        super().record_taken(pc, kind, target)
+        entry = self.probe(pc)
+        assert entry is not None
+        if entry.counter is None:
+            # allocate weakly-taken: the branch just executed taken
+            entry.counter = SaturatingCounter(bits=2, initial=2)
+        else:
+            entry.counter.update(True)
+
+    def record_not_taken(
+        self, pc: int, kind: BranchKind = BranchKind.CONDITIONAL, target: int = 0
+    ) -> None:
+        entry = self.probe(pc)
+        if entry is not None and entry.counter is not None:
+            entry.counter.update(False)

@@ -1,0 +1,100 @@
+"""Saturating counters and counter arrays.
+
+Two-bit saturating counters are the workhorse of every dynamic
+direction predictor in the paper (the Pentium's coupled BTB counters,
+the shared PHT of both simulated architectures, the UltraSPARC's
+per-line 2-bit predictors mentioned in §6.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SaturatingCounter:
+    """An n-bit up/down saturating counter.
+
+    The counter predicts *taken* when in the upper half of its range.
+    A 2-bit counter is initialised to 1 ("weakly not-taken") unless a
+    different initial value is given.
+    """
+
+    __slots__ = ("value", "_maximum", "_threshold")
+
+    def __init__(self, bits: int = 2, initial: int | None = None) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self._maximum = (1 << bits) - 1
+        self._threshold = 1 << (bits - 1)
+        if initial is None:
+            initial = self._threshold - 1
+        if not 0 <= initial <= self._maximum:
+            raise ValueError(
+                f"initial value {initial} out of range [0, {self._maximum}]"
+            )
+        self.value = initial
+
+    @property
+    def taken(self) -> bool:
+        """Current prediction."""
+        return self.value >= self._threshold
+
+    def update(self, taken: bool) -> None:
+        """Move one step toward the observed outcome, saturating."""
+        if taken:
+            if self.value < self._maximum:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SaturatingCounter(value={self.value}, taken={self.taken})"
+
+
+class CounterArray:
+    """A flat array of identical n-bit saturating counters.
+
+    Implemented over a plain list of ints for speed — predictor tables
+    are the hottest per-branch state in the simulation.
+    """
+
+    __slots__ = ("_values", "_maximum", "_threshold", "size")
+
+    def __init__(self, size: int, bits: int = 2, initial: int | None = None) -> None:
+        if size < 1:
+            raise ValueError("counter array must have at least one entry")
+        if bits < 1:
+            raise ValueError("counters need at least one bit")
+        self.size = size
+        self._maximum = (1 << bits) - 1
+        self._threshold = 1 << (bits - 1)
+        if initial is None:
+            initial = self._threshold - 1
+        if not 0 <= initial <= self._maximum:
+            raise ValueError(
+                f"initial value {initial} out of range [0, {self._maximum}]"
+            )
+        self._values: List[int] = [initial] * size
+
+    def predict(self, index: int) -> bool:
+        """Prediction of the counter at *index*."""
+        return self._values[index] >= self._threshold
+
+    def update(self, index: int, taken: bool) -> None:
+        """Train the counter at *index*."""
+        value = self._values[index]
+        if taken:
+            if value < self._maximum:
+                self._values[index] = value + 1
+        elif value > 0:
+            self._values[index] = value - 1
+
+    def value(self, index: int) -> int:
+        """Raw counter value at *index* (for tests/inspection)."""
+        return self._values[index]
+
+    def reset(self, initial: int | None = None) -> None:
+        """Reset every counter to *initial* (default weakly not-taken)."""
+        if initial is None:
+            initial = self._threshold - 1
+        self._values = [initial] * self.size

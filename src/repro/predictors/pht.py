@@ -1,0 +1,270 @@
+"""Pattern-history-table direction predictors.
+
+The paper's simulations use McFarling's *gshare* organisation: "the
+degenerate scheme of Pan et al., where we XOR the global history
+register with the program counter and use this to index into a 4096
+entry (1 KByte) PHT" (§3).  Strictly, gshare (XOR) is McFarling's
+improvement [9] over Pan et al.'s concatenation/plain-history scheme
+[12]; we implement both plus GAg and bimodal tables so the choice can
+be ablated.
+
+All variants share a single global history register updated with the
+outcome of every *conditional* branch, and predict with 2-bit
+saturating counters.
+"""
+
+from __future__ import annotations
+
+from repro.isa.geometry import instruction_index
+from repro.predictors.counters import CounterArray
+
+
+def _check_power_of_two(size: int) -> int:
+    if size < 2 or size & (size - 1):
+        raise ValueError(f"PHT size must be a power of two >= 2, got {size}")
+    return size.bit_length() - 1
+
+
+class GlobalHistoryRegister:
+    """A k-bit shift register of conditional-branch outcomes.
+
+    Taken shifts in a 1, not-taken a 0 (§2).
+    """
+
+    __slots__ = ("bits", "_mask", "value")
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("history register needs at least one bit")
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self.value = 0
+
+    def push(self, taken: bool) -> None:
+        """Shift the outcome of a resolved conditional branch in."""
+        self.value = ((self.value << 1) | int(taken)) & self._mask
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class GSharePredictor:
+    """McFarling's gshare: PHT indexed by ``history XOR pc``.
+
+    This is the conditional-branch predictor used by every BTB and NLS
+    configuration in the paper's evaluation (4096 entries, 12-bit
+    global history, 2-bit counters).
+    """
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        index_bits = _check_power_of_two(entries)
+        self.entries = entries
+        self._mask = entries - 1
+        self._table = CounterArray(entries, bits=counter_bits)
+        self.history = GlobalHistoryRegister(index_bits)
+
+    def _index(self, pc: int) -> int:
+        return (instruction_index(pc) ^ self.history.value) & self._mask
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(self._index(pc), taken)
+        self.history.push(taken)
+
+
+    def reset(self) -> None:
+        """Forget all counters and history (context-switch modelling)."""
+        self._table.reset()
+        self.history.reset()
+
+class PanDegeneratePredictor:
+    """Pan et al.'s degenerate correlation scheme.
+
+    The PHT index concatenates the low PC bits with the global history
+    (half the index bits each), rather than XOR-ing full-width values.
+    """
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        index_bits = _check_power_of_two(entries)
+        self.entries = entries
+        self._history_bits = index_bits // 2
+        self._pc_bits = index_bits - self._history_bits
+        self._pc_mask = (1 << self._pc_bits) - 1
+        self._table = CounterArray(entries, bits=counter_bits)
+        self.history = GlobalHistoryRegister(max(1, self._history_bits))
+
+    def _index(self, pc: int) -> int:
+        pc_part = instruction_index(pc) & self._pc_mask
+        return (pc_part << self._history_bits) | self.history.value
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(self._index(pc), taken)
+        self.history.push(taken)
+
+
+    def reset(self) -> None:
+        """Forget all counters and history (context-switch modelling)."""
+        self._table.reset()
+        self.history.reset()
+
+class GAgPredictor:
+    """GAg: PHT indexed purely by global history (Yeh & Patt)."""
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        index_bits = _check_power_of_two(entries)
+        self.entries = entries
+        self._table = CounterArray(entries, bits=counter_bits)
+        self.history = GlobalHistoryRegister(index_bits)
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self._table.predict(self.history.value)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(self.history.value, taken)
+        self.history.push(taken)
+
+
+    def reset(self) -> None:
+        """Forget all counters and history (context-switch modelling)."""
+        self._table.reset()
+        self.history.reset()
+
+class BimodalPredictor:
+    """Per-address 2-bit counters (Smith), no correlation."""
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        _check_power_of_two(entries)
+        self.entries = entries
+        self._mask = entries - 1
+        self._table = CounterArray(entries, bits=counter_bits)
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self._table.predict(instruction_index(pc) & self._mask)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(instruction_index(pc) & self._mask, taken)
+
+
+    def reset(self) -> None:
+        """Forget all counters (context-switch modelling)."""
+        self._table.reset()
+
+class PAgPredictor:
+    """PAg (Yeh & Patt): per-address local history indexing a shared
+    pattern table.
+
+    Each branch keeps its own shift register of recent outcomes; the
+    register value selects the 2-bit counter.  Captures per-branch
+    periodic patterns (counted loops) that global schemes dilute.
+    """
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        history_entries: int = 1024,
+        counter_bits: int = 2,
+    ) -> None:
+        index_bits = _check_power_of_two(entries)
+        _check_power_of_two(history_entries)
+        self.entries = entries
+        self.history_entries = history_entries
+        self._history_mask = history_entries - 1
+        self._pattern_mask = entries - 1
+        self._histories = [0] * history_entries
+        self._history_bits = index_bits
+        self._history_value_mask = entries - 1
+        self._table = CounterArray(entries, bits=counter_bits)
+
+    def _history_slot(self, pc: int) -> int:
+        return instruction_index(pc) & self._history_mask
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        history = self._histories[self._history_slot(pc)]
+        return self._table.predict(history & self._pattern_mask)
+
+    def update(self, pc: int, taken: bool) -> None:
+        slot = self._history_slot(pc)
+        history = self._histories[slot]
+        self._table.update(history & self._pattern_mask, taken)
+        self._histories[slot] = ((history << 1) | int(taken)) & self._history_value_mask
+
+
+    def reset(self) -> None:
+        """Forget all counters and local histories."""
+        self._table.reset()
+        self._histories = [0] * self.history_entries
+
+class CombiningPredictor:
+    """McFarling's combining predictor [9]: bimodal and gshare run in
+    parallel and a per-address 2-bit chooser selects which one to
+    believe; the chooser trains toward whichever component was right.
+    """
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        _check_power_of_two(entries)
+        self.entries = entries
+        self.bimodal = BimodalPredictor(entries, counter_bits)
+        self.gshare = GSharePredictor(entries, counter_bits)
+        # chooser: >= threshold means "use gshare"
+        self._chooser = CounterArray(entries, bits=2)
+        self._mask = entries - 1
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        use_gshare = self._chooser.predict(instruction_index(pc) & self._mask)
+        if use_gshare:
+            return self.gshare.predict(pc, target)
+        return self.bimodal.predict(pc, target)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_prediction = self.bimodal.predict(pc)
+        gshare_prediction = self.gshare.predict(pc)
+        if bimodal_prediction != gshare_prediction:
+            # train the chooser toward the component that was right
+            self._chooser.update(
+                instruction_index(pc) & self._mask, gshare_prediction == taken
+            )
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+
+    def reset(self) -> None:
+        """Forget both components and the chooser."""
+        self.bimodal.reset()
+        self.gshare.reset()
+        self._chooser.reset()
+
+_DIRECTION_PREDICTORS = {
+    "gshare": GSharePredictor,
+    "pan": PanDegeneratePredictor,
+    "gag": GAgPredictor,
+    "bimodal": BimodalPredictor,
+    "pag": PAgPredictor,
+    "combining": CombiningPredictor,
+}
+
+
+def make_direction_predictor(name: str, entries: int = 4096):
+    """Build a dynamic direction predictor by name.
+
+    Known names: ``gshare`` (the paper's configuration), ``pan``,
+    ``gag``, ``bimodal``.  Static predictors live in
+    :mod:`repro.predictors.static_`.
+    """
+    try:
+        cls = _DIRECTION_PREDICTORS[name.lower()]
+    except KeyError:
+        from repro.predictors.static_ import make_static_predictor
+
+        predictor = make_static_predictor(name)
+        if predictor is not None:
+            return predictor
+        raise ValueError(
+            f"unknown direction predictor {name!r}; expected one of "
+            f"{sorted(_DIRECTION_PREDICTORS)} or a static scheme"
+        ) from None
+    return cls(entries=entries)

@@ -1,0 +1,69 @@
+"""Return-address stack.
+
+Both simulated architectures use "a 32-entry return address stack [6]
+to predict return instructions" (§3, §5.1).  The stack is a circular
+buffer: pushing beyond capacity silently overwrites the oldest entry,
+which is what makes deep recursion mispredict on the way back out —
+the behaviour Kaeli & Emma's mechanism [6] trades area against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """A fixed-capacity circular return-address predictor stack."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("return stack needs at least one entry")
+        self.capacity = capacity
+        self._slots: List[int] = [0] * capacity
+        self._top = 0  # index of the next free slot (mod capacity)
+        self._depth = 0  # number of live entries, <= capacity
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Push the return address of a call.
+
+        When the stack is full the oldest entry is overwritten (the
+        circular buffer wraps); depth saturates at ``capacity``.
+        """
+        self._slots[self._top] = return_address
+        self._top = (self._top + 1) % self.capacity
+        if self._depth < self.capacity:
+            self._depth += 1
+        self.pushes += 1
+
+    def pop(self) -> Optional[int]:
+        """Pop and return the predicted return address.
+
+        Returns ``None`` on underflow (a return with no matching call
+        in the stack's visible window).
+        """
+        self.pops += 1
+        if self._depth == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self.capacity
+        self._depth -= 1
+        return self._slots[self._top]
+
+    def peek(self) -> Optional[int]:
+        """Return the top of stack without popping (``None`` if empty)."""
+        if self._depth == 0:
+            return None
+        return self._slots[(self._top - 1) % self.capacity]
+
+    @property
+    def depth(self) -> int:
+        """Number of live entries."""
+        return self._depth
+
+    def clear(self) -> None:
+        """Drop all entries (not the statistics)."""
+        self._top = 0
+        self._depth = 0

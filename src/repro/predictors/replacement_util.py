@@ -1,0 +1,21 @@
+"""Shared validation helpers for table-shaped predictors."""
+
+from __future__ import annotations
+
+
+def check_btb_shape(entries: int, associativity: int) -> None:
+    """Validate a (entries, associativity) pair for an associative
+    predictor table: both powers of two, associativity <= entries."""
+    for name, value in (("entries", entries), ("associativity", associativity)):
+        if value < 1 or value & (value - 1):
+            raise ValueError(f"{name} must be a power of two >= 1, got {value}")
+    if associativity > entries:
+        raise ValueError(
+            f"associativity ({associativity}) cannot exceed entries ({entries})"
+        )
+
+
+def check_table_size(entries: int) -> None:
+    """Validate a direct-mapped table size (power of two >= 1)."""
+    if entries < 1 or entries & (entries - 1):
+        raise ValueError(f"table size must be a power of two >= 1, got {entries}")

@@ -1,0 +1,59 @@
+"""Static (profile-free) direction predictors.
+
+The paper notes that coupled BTB designs fall back to "less accurate
+static prediction" for branches missing from the BTB (§2).  These
+schemes provide that fallback and serve as ablation baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AlwaysTakenPredictor:
+    """Predict every conditional branch taken."""
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class AlwaysNotTakenPredictor:
+    """Predict every conditional branch not-taken."""
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class BTFNTPredictor:
+    """Backward-taken / forward-not-taken.
+
+    Loops branch backward and usually iterate, so backward conditional
+    branches are predicted taken; forward branches not-taken.
+    """
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return target <= pc
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+_STATIC = {
+    "taken": AlwaysTakenPredictor,
+    "not-taken": AlwaysNotTakenPredictor,
+    "nottaken": AlwaysNotTakenPredictor,
+    "btfnt": BTFNTPredictor,
+}
+
+
+def make_static_predictor(name: str) -> Optional[object]:
+    """Build a static predictor by name, or return ``None`` if the name
+    is not a static scheme."""
+    cls = _STATIC.get(name.lower())
+    return cls() if cls is not None else None

@@ -1,0 +1,78 @@
+"""Trace corpus: build-once, reuse-everywhere trace generation.
+
+A full figure sweep simulates the same program trace under dozens of
+architecture configurations; regenerating the trace each time would
+dominate the runtime.  This module memoises traces keyed by
+(program, instruction budget, seed, layout).
+
+The global scale knob ``REPRO_TRACE_SCALE`` (an environment variable,
+default 1.0) multiplies every requested budget, letting test runs use
+short traces and full reproductions long ones without touching code.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.generator import build_program
+from repro.workloads.interpreter import execute
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import Trace
+
+_CACHE: Dict[Tuple[str, int, int, str], Trace] = {}
+
+#: environment variable multiplying every trace budget
+SCALE_ENV_VAR = "REPRO_TRACE_SCALE"
+
+
+def trace_scale() -> float:
+    """Current global trace-length multiplier (>= 0, default 1.0)."""
+    raw = os.environ.get(SCALE_ENV_VAR, "")
+    if not raw:
+        return 1.0
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SCALE_ENV_VAR} must be a number, got {raw!r}"
+        ) from None
+    if scale <= 0:
+        raise ValueError(f"{SCALE_ENV_VAR} must be positive, got {scale}")
+    return scale
+
+
+def generate_trace(
+    name: str,
+    instructions: Optional[int] = None,
+    seed: Optional[int] = None,
+    layout: str = "natural",
+) -> Trace:
+    """Return the (memoised) trace for the calibrated program *name*.
+
+    *instructions* defaults to the profile's calibrated trace length;
+    either way it is multiplied by ``REPRO_TRACE_SCALE``.
+    """
+    profile = get_profile(name)
+    if instructions is None:
+        instructions = profile.default_instructions
+    budget = max(1, int(instructions * trace_scale()))
+    effective_seed = profile.seed if seed is None else seed
+    key = (name, budget, effective_seed, layout)
+    trace = _CACHE.get(key)
+    if trace is None:
+        program = build_program(profile, layout=layout, seed=effective_seed)
+        trace = execute(
+            program,
+            budget,
+            seed=effective_seed + 1,
+            name=name,
+            profile_indirect_repeat=profile.indirect_repeat,
+        )
+        _CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoised traces (tests use this to bound memory)."""
+    _CACHE.clear()

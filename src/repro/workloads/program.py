@@ -1,0 +1,249 @@
+"""Static model of a synthetic program.
+
+A :class:`SyntheticProgram` is a list of procedures; a procedure is a
+contiguous run of basic blocks; every block ends in exactly one *site*
+(a break-class instruction).  Straight-line runs between breaks are
+represented by the block's instruction count, so the static model maps
+one-to-one onto the block-compressed trace events the interpreter
+emits.
+
+Sites reference blocks by index within their procedure, which keeps
+the model relocatable: addresses are assigned once by the generator's
+layout pass and all runtime targets are derived from block addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.isa.branches import BranchKind
+from repro.isa.geometry import INSTRUCTION_BYTES
+
+
+@dataclass(frozen=True)
+class ConditionalSite:
+    """A forward conditional branch (if/else shape).
+
+    When ``correlation_bits`` is non-zero the site is *correlated*: its
+    outcome is a deterministic (per-site-salted) hash of the last
+    ``correlation_bits`` global conditional outcomes, biased by
+    ``taken_prob``.  Correlated branches model the `if (x>0) ...
+    if (x>=0)` pattern that two-level predictors exploit — they look
+    random to a per-address predictor but are learnable through global
+    history."""
+
+    target_block: int
+    taken_prob: float
+    correlation_bits: int = 0
+    salt: int = 0
+    #: probability the outcome simply repeats the previous one — real
+    #: data-dependent branches decide in runs, not i.i.d. coin flips
+    sticky: float = 0.0
+
+    kind = BranchKind.CONDITIONAL
+
+
+@dataclass(frozen=True)
+class LoopSite:
+    """A backward conditional branch closing a loop.
+
+    Two trip-count behaviours: when ``fixed_trips`` is set the loop
+    always runs exactly that many times (a counted ``for`` loop —
+    fully learnable by a history-based predictor when the count fits
+    in the history window); otherwise each execution continues with
+    probability ``continue_prob`` (a data-dependent ``while`` loop
+    with geometric trip counts)."""
+
+    head_block: int
+    continue_prob: float
+    fixed_trips: Optional[int] = None
+
+    kind = BranchKind.CONDITIONAL
+
+
+@dataclass(frozen=True)
+class UnconditionalSite:
+    """A direct unconditional jump within the procedure."""
+
+    target_block: int
+
+    kind = BranchKind.UNCONDITIONAL
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A direct call to another procedure."""
+
+    callee: int
+
+    kind = BranchKind.CALL
+
+
+@dataclass(frozen=True)
+class IndirectSite:
+    """An indirect jump (switch / virtual dispatch shape)."""
+
+    target_blocks: Sequence[int]
+    weights: Sequence[float]
+
+    kind = BranchKind.INDIRECT
+
+    def __post_init__(self) -> None:
+        if len(self.target_blocks) != len(self.weights):
+            raise ValueError("target_blocks and weights must have equal length")
+        if not self.target_blocks:
+            raise ValueError("an indirect site needs at least one target")
+
+
+@dataclass(frozen=True)
+class ReturnSite:
+    """A procedure return."""
+
+    kind = BranchKind.RETURN
+
+
+Site = Union[
+    ConditionalSite, LoopSite, UnconditionalSite, CallSite, IndirectSite, ReturnSite
+]
+
+
+@dataclass
+class Block:
+    """A basic block: a run of instructions ending in one break."""
+
+    n_instructions: int
+    site: Site
+    #: byte address of the first instruction; assigned by the layout pass
+    address: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_instructions < 1:
+            raise ValueError("a block must contain at least one instruction")
+
+    @property
+    def size_bytes(self) -> int:
+        """Code bytes occupied by the block."""
+        return self.n_instructions * INSTRUCTION_BYTES
+
+    @property
+    def break_address(self) -> int:
+        """Address of the block's final (break) instruction."""
+        return self.address + (self.n_instructions - 1) * INSTRUCTION_BYTES
+
+
+@dataclass
+class Procedure:
+    """A contiguous run of blocks, ending in a return block."""
+
+    name: str
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def entry(self) -> int:
+        """Entry address (address of the first block)."""
+        return self.blocks[0].address
+
+    @property
+    def n_instructions(self) -> int:
+        """Static instruction count."""
+        return sum(block.n_instructions for block in self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        """Static code size in bytes."""
+        return self.n_instructions * INSTRUCTION_BYTES
+
+    def check(self, n_procedures: int) -> None:
+        """Validate structural invariants; raises ``ValueError``."""
+        if not self.blocks:
+            raise ValueError(f"procedure {self.name!r} has no blocks")
+        last = len(self.blocks) - 1
+        if not isinstance(self.blocks[last].site, ReturnSite):
+            raise ValueError(f"procedure {self.name!r} does not end in a return")
+        for index, block in enumerate(self.blocks):
+            site = block.site
+            if isinstance(site, ReturnSite):
+                continue
+            if index == last:
+                raise ValueError(
+                    f"procedure {self.name!r}: non-return site in the final block"
+                )
+            if isinstance(site, (ConditionalSite, UnconditionalSite)):
+                if not 0 <= site.target_block < len(self.blocks):
+                    raise ValueError(
+                        f"procedure {self.name!r} block {index}: target out of range"
+                    )
+            elif isinstance(site, LoopSite):
+                if not 0 <= site.head_block <= index:
+                    raise ValueError(
+                        f"procedure {self.name!r} block {index}: loop head must be "
+                        "at or before the loop branch"
+                    )
+            elif isinstance(site, IndirectSite):
+                for target in site.target_blocks:
+                    if not 0 <= target < len(self.blocks):
+                        raise ValueError(
+                            f"procedure {self.name!r} block {index}: indirect "
+                            "target out of range"
+                        )
+            elif isinstance(site, CallSite):
+                if not 0 <= site.callee < n_procedures:
+                    raise ValueError(
+                        f"procedure {self.name!r} block {index}: callee out of range"
+                    )
+
+
+@dataclass
+class SyntheticProgram:
+    """A complete synthetic program: procedures with assigned addresses."""
+
+    name: str
+    procedures: List[Procedure]
+    main: int = 0
+    base_address: int = 0x0001_0000
+
+    @property
+    def code_bytes(self) -> int:
+        """Total static code size."""
+        return sum(procedure.size_bytes for procedure in self.procedures)
+
+    @property
+    def n_static_instructions(self) -> int:
+        """Total static instruction count."""
+        return sum(procedure.n_instructions for procedure in self.procedures)
+
+    def static_site_counts(self) -> Dict[BranchKind, int]:
+        """Static break sites by branch kind (Table 1's "static")."""
+        counts: Dict[BranchKind, int] = {}
+        for procedure in self.procedures:
+            for block in procedure.blocks:
+                kind = block.site.kind
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def check(self) -> None:
+        """Validate the whole program: per-procedure invariants, blocks
+        contiguous within each procedure, and no overlap between
+        procedures (layout may place procedures in any order)."""
+        n = len(self.procedures)
+        if not 0 <= self.main < n:
+            raise ValueError("main procedure index out of range")
+        extents = []
+        for procedure in self.procedures:
+            procedure.check(n)
+            expected = procedure.blocks[0].address
+            for block in procedure.blocks:
+                if block.address != expected:
+                    raise ValueError(
+                        f"procedure {procedure.name!r}: block at "
+                        f"{block.address:#x}, expected {expected:#x}"
+                    )
+                expected += block.size_bytes
+            extents.append((procedure.blocks[0].address, expected, procedure.name))
+        extents.sort()
+        for (start_a, end_a, name_a), (start_b, _, name_b) in zip(extents, extents[1:]):
+            if start_b < end_a:
+                raise ValueError(
+                    f"procedures {name_a!r} and {name_b!r} overlap at {start_b:#x}"
+                )

@@ -1,0 +1,157 @@
+"""Tests for the analysis package: breakdowns, capacity curves,
+penalty sensitivity, and wrong-path modelling."""
+
+import pytest
+
+from repro.analysis.breakdown import format_breakdown, penalty_breakdown
+from repro.analysis.capacity import (
+    btb_capacity_curve,
+    format_capacity_curve,
+    nls_capacity_curve,
+)
+from repro.analysis.sensitivity import (
+    format_sensitivity,
+    penalty_sensitivity,
+    reweigh,
+)
+from repro.harness.config import ArchitectureConfig
+from repro.harness.runner import simulate
+from repro.metrics.report import PenaltyModel
+
+SMALL = 40_000
+
+
+@pytest.fixture(scope="module")
+def li_report():
+    return simulate(
+        ArchitectureConfig(frontend="btb", entries=128), "li", instructions=SMALL
+    )
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self, li_report):
+        rows = penalty_breakdown(li_report)
+        assert sum(row.break_share for row in rows) == pytest.approx(1.0)
+        assert sum(row.penalty_share for row in rows) == pytest.approx(1.0)
+
+    def test_counts_match_report(self, li_report):
+        rows = penalty_breakdown(li_report)
+        assert sum(row.executed for row in rows) == li_report.n_breaks
+        assert sum(row.misfetched for row in rows) == li_report.misfetches
+        assert sum(row.mispredicted for row in rows) == li_report.mispredicts
+
+    def test_penalty_cycles_consistent_with_bep(self, li_report):
+        rows = penalty_breakdown(li_report)
+        total = sum(row.penalty_cycles for row in rows)
+        assert total == pytest.approx(li_report.bep * li_report.n_breaks, rel=1e-9)
+
+    def test_rejects_kindless_report(self, li_report):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            penalty_breakdown(replace(li_report, by_kind=None))
+
+    def test_formatting(self, li_report):
+        text = format_breakdown(penalty_breakdown(li_report))
+        assert "CONDITIONAL" in text and "%penalty" in text
+
+
+class TestCapacityCurves:
+    def test_btb_bep_improves_with_entries(self):
+        points = btb_capacity_curve("gcc", entries_list=(32, 256), instructions=SMALL)
+        assert points[0].bep > points[1].bep
+        assert points[0].rbe < points[1].rbe
+
+    def test_nls_curve_monotone_cost(self):
+        points = nls_capacity_curve(
+            "li", entries_list=(128, 512, 2048), instructions=SMALL
+        )
+        costs = [point.rbe for point in points]
+        assert costs == sorted(costs)
+
+    def test_equal_cost_comparison_favours_nls(self):
+        # the §7 capacity argument on the hardest program
+        btb = btb_capacity_curve("gcc", entries_list=(128,), instructions=SMALL)[0]
+        nls = nls_capacity_curve("gcc", entries_list=(1024,), instructions=SMALL)[0]
+        assert nls.rbe == pytest.approx(btb.rbe, rel=0.25)
+        assert nls.pct_misfetched < btb.pct_misfetched
+
+    def test_formatting(self):
+        points = nls_capacity_curve("li", entries_list=(128,), instructions=SMALL)
+        text = format_capacity_curve(points, title="curve")
+        assert "curve" in text and "128" in text
+
+
+class TestSensitivity:
+    def test_reweigh_keeps_counts(self, li_report):
+        heavier = reweigh(li_report, PenaltyModel(mispredict=12.0))
+        assert heavier.misfetches == li_report.misfetches
+        assert heavier.bep > li_report.bep
+
+    def test_grid_shape(self):
+        points = penalty_sensitivity(
+            "li",
+            mispredict_penalties=(4.0, 8.0),
+            miss_penalties=(5.0,),
+            instructions=SMALL,
+        )
+        assert len(points) == 2
+
+    def test_bep_advantage_independent_of_miss_penalty(self):
+        points = penalty_sensitivity(
+            "gcc",
+            mispredict_penalties=(4.0,),
+            miss_penalties=(5.0, 20.0),
+            instructions=SMALL,
+        )
+        # the BEP contains no cache term: advantage identical
+        assert points[0].bep_advantage == pytest.approx(points[1].bep_advantage)
+
+    def test_nls_advantage_stable_across_pipeline_depth(self):
+        points = penalty_sensitivity(
+            "gcc", mispredict_penalties=(2.0, 12.0), miss_penalties=(5.0,),
+            instructions=SMALL,
+        )
+        for point in points:
+            assert point.bep_advantage > 0  # NLS stays ahead
+
+    def test_formatting(self):
+        points = penalty_sensitivity(
+            "li", mispredict_penalties=(4.0,), miss_penalties=(5.0,),
+            instructions=SMALL,
+        )
+        text = format_sensitivity(points, title="sweep")
+        assert "winner" in text
+
+
+class TestWrongPathModelling:
+    def test_wrong_path_inflates_accesses(self):
+        base = ArchitectureConfig(frontend="btb", entries=128)
+        polluted = ArchitectureConfig(
+            frontend="btb", entries=128, model_wrong_path=True
+        )
+        clean_report = simulate(base, "gcc", instructions=SMALL)
+        dirty_report = simulate(polluted, "gcc", instructions=SMALL)
+        assert dirty_report.icache_accesses > clean_report.icache_accesses
+
+    def test_wrong_path_off_by_default(self):
+        assert ArchitectureConfig().model_wrong_path is False
+
+    def test_nls_wrong_path_touches_only_fall_through(self):
+        # the NLS stores no full address: its wrong-path accesses come
+        # only from fall-through fetches, so the inflation is smaller
+        # than the BTB's on the same trace
+        def extra(frontend, **kw):
+            clean = simulate(
+                ArchitectureConfig(frontend=frontend, **kw), "gcc",
+                instructions=SMALL,
+            )
+            dirty = simulate(
+                ArchitectureConfig(frontend=frontend, model_wrong_path=True, **kw),
+                "gcc",
+                instructions=SMALL,
+            )
+            return dirty.icache_accesses - clean.icache_accesses
+
+        assert extra("nls-table", entries=1024) >= 0
+        assert extra("btb", entries=128) >= 0

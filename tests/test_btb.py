@@ -1,0 +1,145 @@
+"""Tests for the branch target buffer."""
+
+import pytest
+
+from repro.isa.branches import BranchKind
+from repro.predictors.btb import BranchTargetBuffer, CoupledBTB
+
+
+class TestLookupAndAllocate:
+    def test_miss_on_cold(self):
+        btb = BranchTargetBuffer(entries=128)
+        assert btb.lookup(0x1000) is None
+
+    def test_taken_branch_allocates(self):
+        btb = BranchTargetBuffer(entries=128)
+        btb.record_taken(0x1000, BranchKind.CONDITIONAL, 0x2000)
+        entry = btb.lookup(0x1000)
+        assert entry is not None
+        assert entry.target == 0x2000
+        assert entry.kind == BranchKind.CONDITIONAL
+
+    def test_not_taken_never_allocates(self):
+        # "we store only taken branches in the BTB" (S3)
+        btb = BranchTargetBuffer(entries=128)
+        btb.record_not_taken(0x1000)
+        assert btb.lookup(0x1000) is None
+
+    def test_not_taken_preserves_existing_entry(self):
+        # "If a branch is not taken while it is in the BTB, we leave
+        # the entry in the BTB" (S3)
+        btb = BranchTargetBuffer(entries=128)
+        btb.record_taken(0x1000, BranchKind.CONDITIONAL, 0x2000)
+        btb.record_not_taken(0x1000)
+        entry = btb.lookup(0x1000)
+        assert entry is not None and entry.target == 0x2000
+
+    def test_taken_updates_moving_target(self):
+        btb = BranchTargetBuffer(entries=128)
+        btb.record_taken(0x1000, BranchKind.INDIRECT, 0x2000)
+        btb.record_taken(0x1000, BranchKind.INDIRECT, 0x3000)
+        assert btb.lookup(0x1000).target == 0x3000
+
+    def test_distinct_pcs_distinct_entries(self):
+        btb = BranchTargetBuffer(entries=128)
+        btb.record_taken(0x1000, BranchKind.CALL, 0x2000)
+        btb.record_taken(0x1004, BranchKind.RETURN, 0x3000)
+        assert btb.lookup(0x1000).kind == BranchKind.CALL
+        assert btb.lookup(0x1004).kind == BranchKind.RETURN
+
+
+class TestConflictsAndLRU:
+    def conflicting(self, btb, n):
+        """n addresses mapping to set 0 of *btb*."""
+        stride = btb.n_sets * 4
+        return [0x10000 + i * stride for i in range(n)]
+
+    def test_direct_mapped_conflict(self):
+        btb = BranchTargetBuffer(entries=128, associativity=1)
+        a, b = self.conflicting(btb, 2)
+        btb.record_taken(a, BranchKind.CONDITIONAL, 0x2000)
+        btb.record_taken(b, BranchKind.CONDITIONAL, 0x3000)
+        assert btb.lookup(a) is None
+        assert btb.lookup(b).target == 0x3000
+
+    def test_two_way_holds_two(self):
+        btb = BranchTargetBuffer(entries=128, associativity=2)
+        a, b = self.conflicting(btb, 2)
+        btb.record_taken(a, BranchKind.CONDITIONAL, 0x2000)
+        btb.record_taken(b, BranchKind.CONDITIONAL, 0x3000)
+        assert btb.lookup(a).target == 0x2000
+        assert btb.lookup(b).target == 0x3000
+
+    def test_lru_eviction_respects_lookups(self):
+        btb = BranchTargetBuffer(entries=128, associativity=2)
+        a, b, c = self.conflicting(btb, 3)
+        btb.record_taken(a, BranchKind.CONDITIONAL, 0x2000)
+        btb.record_taken(b, BranchKind.CONDITIONAL, 0x3000)
+        btb.lookup(a)  # refresh a: b becomes LRU
+        btb.record_taken(c, BranchKind.CONDITIONAL, 0x4000)
+        assert btb.probe(a) is not None
+        assert btb.probe(b) is None
+        assert btb.probe(c) is not None
+
+    def test_occupancy_bounded_by_entries(self):
+        btb = BranchTargetBuffer(entries=8, associativity=2)
+        for i in range(100):
+            btb.record_taken(0x1000 + i * 4, BranchKind.CONDITIONAL, 0x2000)
+        assert btb.occupancy() <= 8
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        btb = BranchTargetBuffer(entries=128)
+        btb.record_taken(0x1000, BranchKind.CONDITIONAL, 0x2000)
+        btb.lookup(0x1000)
+        btb.lookup(0x2000)
+        assert btb.hit_rate == pytest.approx(0.5)
+
+    def test_probe_does_not_count(self):
+        btb = BranchTargetBuffer(entries=128)
+        btb.probe(0x1000)
+        assert btb.lookups == 0
+
+    def test_flush(self):
+        btb = BranchTargetBuffer(entries=128)
+        btb.record_taken(0x1000, BranchKind.CONDITIONAL, 0x2000)
+        btb.flush()
+        assert btb.probe(0x1000) is None
+
+
+class TestShapes:
+    @pytest.mark.parametrize("entries,assoc", [(100, 1), (128, 3), (2, 4), (0, 1)])
+    def test_rejects_bad_shapes(self, entries, assoc):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=entries, associativity=assoc)
+
+    def test_paper_shapes(self):
+        for entries in (128, 256):
+            for assoc in (1, 2, 4):
+                btb = BranchTargetBuffer(entries, assoc)
+                assert btb.n_sets == entries // assoc
+
+
+class TestCoupledBTB:
+    def test_counter_allocated_weakly_taken(self):
+        btb = CoupledBTB(entries=128)
+        btb.record_taken(0x1000, BranchKind.CONDITIONAL, 0x2000)
+        assert btb.predict_direction(0x1000) is True
+
+    def test_miss_returns_none_for_static_fallback(self):
+        # coupled designs must fall back to static prediction (S2)
+        btb = CoupledBTB(entries=128)
+        assert btb.predict_direction(0x1000) is None
+
+    def test_not_taken_trains_counter(self):
+        btb = CoupledBTB(entries=128)
+        btb.record_taken(0x1000, BranchKind.CONDITIONAL, 0x2000)
+        btb.record_not_taken(0x1000)
+        btb.record_not_taken(0x1000)
+        assert btb.predict_direction(0x1000) is False
+
+    def test_non_conditional_entries_do_not_predict_direction(self):
+        btb = CoupledBTB(entries=128)
+        btb.record_taken(0x1000, BranchKind.CALL, 0x2000)
+        assert btb.predict_direction(0x1000) is None

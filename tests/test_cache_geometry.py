@@ -1,0 +1,113 @@
+"""Tests for cache geometry and address-field arithmetic."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+
+
+class TestConstruction:
+    def test_paper_default(self):
+        g = CacheGeometry(16 * 1024, 32, 1)
+        assert g.n_lines == 512
+        assert g.n_sets == 512
+        assert g.instructions_per_line == 8
+
+    def test_four_way(self):
+        g = CacheGeometry(16 * 1024, 32, 4)
+        assert g.n_lines == 512
+        assert g.n_sets == 128
+
+    @pytest.mark.parametrize(
+        "size,line,assoc",
+        [(1000, 32, 1), (8192, 24, 1), (8192, 32, 3), (32, 32, 4)],
+    )
+    def test_rejects_bad_shapes(self, size, line, assoc):
+        with pytest.raises(ValueError):
+            CacheGeometry(size, line, assoc)
+
+    def test_rejects_line_smaller_than_instruction(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(8192, 2, 1)
+
+
+class TestBitWidths:
+    def test_direct_mapped_8k(self):
+        g = CacheGeometry(8 * 1024, 32, 1)
+        assert g.offset_bits == 5
+        assert g.set_index_bits == 8
+        assert g.way_bits == 0
+        assert g.instruction_offset_bits == 3
+        assert g.line_field_bits == 11
+
+    def test_line_field_grows_one_bit_per_cache_doubling(self):
+        # the paper's logarithmic NLS-table growth argument (S6)
+        widths = [
+            CacheGeometry(kb * 1024, 32, 1).line_field_bits
+            for kb in (8, 16, 32, 64)
+        ]
+        assert widths == [11, 12, 13, 14]
+
+    def test_associativity_shrinks_set_bits_adds_way_bits(self):
+        dm = CacheGeometry(8 * 1024, 32, 1)
+        w4 = CacheGeometry(8 * 1024, 32, 4)
+        assert w4.set_index_bits == dm.set_index_bits - 2
+        assert w4.way_bits == 2
+
+
+class TestAddressSlicing:
+    def test_set_index_and_tag_roundtrip(self):
+        g = CacheGeometry(8 * 1024, 32, 1)
+        address = 0x0012_3456 & ~0x3
+        line = g.line_address(address)
+        reconstructed = (
+            (g.tag(address) << (g.set_index_bits + g.offset_bits))
+            | (g.set_index(address) << g.offset_bits)
+        )
+        assert reconstructed == line
+
+    def test_line_address_masks_offset(self):
+        g = CacheGeometry(8 * 1024, 32, 1)
+        assert g.line_address(0x1000) == 0x1000
+        assert g.line_address(0x101C) == 0x1000
+        assert g.line_address(0x1020) == 0x1020
+
+    def test_instruction_offset(self):
+        g = CacheGeometry(8 * 1024, 32, 1)
+        assert g.instruction_offset(0x1000) == 0
+        assert g.instruction_offset(0x1004) == 1
+        assert g.instruction_offset(0x101C) == 7
+
+    def test_line_field_concatenates_set_and_offset(self):
+        g = CacheGeometry(8 * 1024, 32, 1)
+        address = 0x1004
+        expected = (g.set_index(address) << 3) | 1
+        assert g.line_field(address) == expected
+
+    def test_line_field_distinguishes_instructions_in_same_line(self):
+        g = CacheGeometry(8 * 1024, 32, 1)
+        assert g.line_field(0x1000) != g.line_field(0x1004)
+
+    def test_line_field_aliases_across_tag_distance(self):
+        # two addresses one cache-size apart share the line field: the
+        # NLS pointer cannot tell them apart (the misfetch mechanism)
+        g = CacheGeometry(8 * 1024, 32, 1)
+        assert g.line_field(0x1000) == g.line_field(0x1000 + 8 * 1024)
+
+    def test_next_line_address(self):
+        g = CacheGeometry(8 * 1024, 32, 1)
+        assert g.next_line_address(0x1004) == 0x1020
+
+    @pytest.mark.parametrize(
+        "start,n,expected",
+        [
+            (0x1000, 1, 1),
+            (0x1000, 8, 1),
+            (0x1000, 9, 2),
+            (0x101C, 2, 2),
+            (0x1000, 0, 0),
+            (0x1004, 8, 2),
+        ],
+    )
+    def test_lines_spanned(self, start, n, expected):
+        g = CacheGeometry(8 * 1024, 32, 1)
+        assert g.lines_spanned(start, n) == expected

@@ -1,0 +1,140 @@
+"""Tests for the RBE area model (Figure 3) and the access-time model
+(Figure 6) — including the paper's cost-equivalence claims."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cost.rbe import RBEModel
+from repro.cost.timing import AccessTimeModel
+from repro.isa.geometry import AddressSpace
+
+
+def geometry(kb, assoc=1):
+    return CacheGeometry(kb * 1024, 32, assoc)
+
+
+class TestRBEFieldWidths:
+    def test_nls_entry_bits_direct_mapped(self):
+        # 2 type + (set index + instruction offset); no way bits
+        assert RBEModel.nls_entry_bits(geometry(16)) == 2 + 9 + 3
+
+    def test_nls_entry_bits_four_way(self):
+        g = geometry(16, 4)
+        assert RBEModel.nls_entry_bits(g) == 2 + 7 + 3 + 2
+
+    def test_btb_data_bits(self):
+        # 30-bit target + 2-bit type in a 32-bit space (S7)
+        assert RBEModel.btb_entry_data_bits() == 32
+        assert RBEModel.btb_entry_data_bits(AddressSpace(64)) == 64
+
+    def test_btb_tag_bits(self):
+        assert RBEModel.btb_tag_bits(128, 1) == 30 - 7
+        assert RBEModel.btb_tag_bits(128, 4) == 30 - 5
+
+    def test_lru_bits(self):
+        assert RBEModel.lru_bits_per_set(1) == 0
+        assert RBEModel.lru_bits_per_set(2) == 1
+        assert RBEModel.lru_bits_per_set(4) == 5
+
+
+class TestPaperCostEquivalences:
+    """Figure 3 / §6.1: the cost pairings the paper's comparisons use."""
+
+    def setup_method(self):
+        self.model = RBEModel()
+
+    def test_nls_cache_matches_table_at_each_size(self):
+        # NLS-cache == 512-table @8K, 1024-table @16K, 2048-table @32K
+        for kb, entries in ((8, 512), (16, 1024), (32, 2048)):
+            cache_cost = self.model.nls_cache_cost(geometry(kb)).rbe
+            table_cost = self.model.nls_table_cost(entries, geometry(kb)).rbe
+            assert cache_cost == pytest.approx(table_cost, rel=0.01)
+
+    def test_1024_table_close_to_128_btb(self):
+        table = self.model.nls_table_cost(1024, geometry(16)).rbe
+        btb = self.model.btb_cost(128, 1).rbe
+        assert 0.75 < table / btb < 1.25
+
+    def test_256_btb_about_twice_1024_table(self):
+        table = self.model.nls_table_cost(1024, geometry(16)).rbe
+        btb = self.model.btb_cost(256, 1).rbe
+        assert 1.6 < btb / table < 2.4
+
+    def test_nls_table_grows_logarithmically(self):
+        costs = [
+            self.model.nls_table_cost(1024, geometry(kb)).rbe
+            for kb in (8, 16, 32, 64)
+        ]
+        deltas = [b - a for a, b in zip(costs, costs[1:])]
+        # one extra bit per entry per doubling: constant absolute delta
+        assert max(deltas) == pytest.approx(min(deltas), rel=0.01)
+
+    def test_nls_cache_grows_linearly(self):
+        costs = [
+            self.model.nls_cache_cost(geometry(kb)).rbe for kb in (8, 16, 32, 64)
+        ]
+        ratios = [b / a for a, b in zip(costs, costs[1:])]
+        for ratio in ratios:
+            assert ratio > 1.9  # roughly doubles per cache doubling
+
+    def test_nls_cache_impractical_for_large_caches(self):
+        # "the NLS-cache is practical for only small caches" (S6.1)
+        big_cache = self.model.nls_cache_cost(geometry(64)).rbe
+        biggest_btb = self.model.btb_cost(256, 4).rbe
+        assert big_cache > biggest_btb
+
+    def test_btb_cost_independent_of_cache(self):
+        # btb_cost has no cache parameter at all; assert the address
+        # space dependence instead (S7)
+        small = self.model.btb_cost(128, 1, AddressSpace(32)).rbe
+        large = self.model.btb_cost(128, 1, AddressSpace(64)).rbe
+        assert large > small
+
+    def test_nls_cost_independent_of_address_space(self):
+        # the NLS entry stores no tag and no full target (S7): its cost
+        # only depends on the cache geometry
+        cost = self.model.nls_table_cost(1024, geometry(16)).rbe
+        assert cost == self.model.nls_table_cost(1024, geometry(16)).rbe
+
+    def test_btb_associativity_adds_cost(self):
+        costs = [self.model.btb_cost(128, assoc).rbe for assoc in (1, 2, 4)]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_shared_structures_costed(self):
+        assert self.model.pht_cost().storage_bits == 4096 * 2
+        assert self.model.return_stack_cost().storage_bits == 32 * 30
+
+
+class TestAccessTimeModel:
+    def setup_method(self):
+        self.model = AccessTimeModel()
+
+    def test_paper_range(self):
+        # Figure 6 shows a handful of nanoseconds
+        for entries in (128, 256):
+            for assoc in (1, 2, 4):
+                assert 1.0 < self.model.access_time_ns(entries, assoc) < 10.0
+
+    def test_four_way_penalty_is_30_to_40_percent(self):
+        # the paper's headline timing claim (S6.3)
+        for entries in (128, 256):
+            ratio = self.model.associativity_penalty(entries, 4)
+            assert 1.25 <= ratio <= 1.45
+
+    def test_two_way_penalty_between_direct_and_four_way(self):
+        for entries in (128, 256):
+            two = self.model.associativity_penalty(entries, 2)
+            four = self.model.associativity_penalty(entries, 4)
+            assert 1.0 < two < four
+
+    def test_bigger_structure_is_slower(self):
+        assert self.model.access_time_ns(256, 1) > self.model.access_time_ns(128, 1)
+
+    def test_direct_mapped_penalty_is_unity(self):
+        assert self.model.associativity_penalty(128, 1) == pytest.approx(1.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            self.model.access_time_ns(100, 1)
+        with pytest.raises(ValueError):
+            self.model.access_time_ns(128, 256)

@@ -1,0 +1,61 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+Examples are executed as subprocesses with tiny instruction budgets so
+the whole file stays under a minute.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "li", "30000")
+        assert result.returncode == 0, result.stderr
+        assert "BEP" in result.stdout
+        assert "RBE" in result.stdout
+
+    def test_cache_sensitivity(self):
+        result = run_example("cache_sensitivity.py", "li", "30000")
+        assert result.returncode == 0, result.stderr
+        assert "I-miss" in result.stdout
+
+    def test_custom_workload(self):
+        result = run_example("custom_workload.py", "30000")
+        assert result.returncode == 0, result.stderr
+        assert "dispatcher" in result.stdout
+
+    def test_custom_frontend(self):
+        result = run_example("custom_frontend.py", "20000")
+        assert result.returncode == 0, result.stderr
+        assert "alias rate" in result.stdout
+
+    def test_pipeline_depth_study(self):
+        result = run_example("pipeline_depth_study.py", "li", "30000")
+        assert result.returncode == 0, result.stderr
+        assert "IPC" in result.stdout
+
+    def test_every_example_is_covered(self):
+        covered = {
+            "quickstart.py",
+            "cache_sensitivity.py",
+            "custom_workload.py",
+            "custom_frontend.py",
+            "pipeline_depth_study.py",
+        }
+        on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+        assert on_disk == covered

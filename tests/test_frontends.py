@@ -1,0 +1,152 @@
+"""Tests for the fetch front-end adapters."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.icache import InstructionCache
+from repro.core.johnson import JohnsonSuccessorIndex
+from repro.core.nls_cache import NLSCache
+from repro.core.nls_table import NLSTable
+from repro.fetch.frontends import (
+    BTBFrontEnd,
+    FallThroughFrontEnd,
+    JohnsonFrontEnd,
+    MECH_CONDITIONAL,
+    MECH_OTHER,
+    MECH_RETURN,
+    NLSCacheFrontEnd,
+    NLSTableFrontEnd,
+    OracleFrontEnd,
+)
+from repro.isa.branches import BranchKind
+from repro.predictors.btb import BranchTargetBuffer
+
+
+def make_cache(assoc=1):
+    return InstructionCache(CacheGeometry(8 * 1024, 32, assoc))
+
+
+class TestBTBFrontEnd:
+    def setup_method(self):
+        self.frontend = BTBFrontEnd(BranchTargetBuffer(128, 1))
+
+    def test_miss_returns_no_mechanism(self):
+        mech, handle = self.frontend.predict(0x1000, 0)
+        assert mech is None and handle is None
+
+    def test_mechanism_from_stored_kind(self):
+        cases = [
+            (BranchKind.RETURN, MECH_RETURN),
+            (BranchKind.CONDITIONAL, MECH_CONDITIONAL),
+            (BranchKind.UNCONDITIONAL, MECH_OTHER),
+            (BranchKind.CALL, MECH_OTHER),
+            (BranchKind.INDIRECT, MECH_OTHER),
+        ]
+        for position, (kind, expected) in enumerate(cases):
+            pc = 0x1000 + position * 4
+            self.frontend.update(pc, kind, True, 0x2000, pc + 4, 0)
+            mech, handle = self.frontend.predict(pc, 0)
+            assert mech == expected
+
+    def test_target_matches_full_address(self):
+        self.frontend.update(0x1000, BranchKind.CALL, True, 0x2000, 0x1004, 0)
+        mech, handle = self.frontend.predict(0x1000, 0)
+        assert self.frontend.target_matches(handle, 0x2000)
+        assert not self.frontend.target_matches(handle, 0x2004)
+
+    def test_not_taken_update_does_not_allocate(self):
+        self.frontend.update(0x1000, BranchKind.CONDITIONAL, False, 0, 0x1004, 0)
+        mech, handle = self.frontend.predict(0x1000, 0)
+        assert mech is None
+
+    def test_name_and_flags(self):
+        assert "btb" in self.frontend.name
+        assert self.frontend.implicit_direction is False
+        assert self.frontend.perfect is False
+
+
+class TestNLSTableFrontEnd:
+    def setup_method(self):
+        self.cache = make_cache()
+        self.frontend = NLSTableFrontEnd(NLSTable(1024, self.cache.geometry), self.cache)
+
+    def test_invalid_entry_returns_no_mechanism(self):
+        mech, handle = self.frontend.predict(0x1000, 0)
+        assert mech is None
+
+    def test_match_requires_residency(self):
+        self.cache.access(0x2000)
+        self.frontend.update(0x1000, BranchKind.CALL, True, 0x2000, 0x1004, 0)
+        mech, handle = self.frontend.predict(0x1000, 0)
+        assert mech == MECH_OTHER
+        assert self.frontend.target_matches(handle, 0x2000)
+        self.cache.flush()
+        mech, handle = self.frontend.predict(0x1000, 0)
+        assert not self.frontend.target_matches(handle, 0x2000)
+
+    def test_way_training_through_update(self):
+        cache = make_cache(assoc=2)
+        frontend = NLSTableFrontEnd(NLSTable(1024, cache.geometry), cache)
+        way = cache.access(0x2000).way
+        frontend.update(0x1000, BranchKind.CALL, True, 0x2000, 0x1004, way)
+        mech, handle = frontend.predict(0x1000, 0)
+        assert frontend.target_matches(handle, 0x2000)
+
+
+class TestNLSCacheFrontEnd:
+    def test_uses_carrier_way(self):
+        cache = make_cache()
+        frontend = NLSCacheFrontEnd(NLSCache(cache))
+        way = cache.access(0x1000).way
+        cache.access(0x2000)
+        frontend.update(0x1000, BranchKind.CALL, True, 0x2000, 0x1004, 0)
+        mech, handle = frontend.predict(0x1000, way)
+        assert mech == MECH_OTHER
+        assert frontend.target_matches(handle, 0x2000)
+
+    def test_name_mentions_policy(self):
+        cache = make_cache()
+        frontend = NLSCacheFrontEnd(NLSCache(cache, policy="lru"))
+        assert "lru" in frontend.name
+
+
+class TestJohnsonFrontEnd:
+    def setup_method(self):
+        self.cache = make_cache()
+        self.frontend = JohnsonFrontEnd(JohnsonSuccessorIndex(self.cache))
+
+    def test_implicit_direction_flag(self):
+        assert self.frontend.implicit_direction is True
+
+    def test_taken_then_not_taken_flips_pointer(self):
+        self.cache.access(0x1000)
+        self.cache.access(0x2000)
+        pc, fall_through = 0x1000, 0x1004
+        self.frontend.update(pc, BranchKind.CONDITIONAL, True, 0x2000, fall_through, 0)
+        mech, handle = self.frontend.predict(pc, 0)
+        assert self.frontend.implied_taken(handle, fall_through)
+        self.frontend.update(pc, BranchKind.CONDITIONAL, False, 0x2000, fall_through, 0)
+        mech, handle = self.frontend.predict(pc, 0)
+        assert not self.frontend.implied_taken(handle, fall_through)
+
+    def test_match_checks_residency(self):
+        self.cache.access(0x1000)
+        self.cache.access(0x2000)
+        self.frontend.update(0x1000, BranchKind.UNCONDITIONAL, True, 0x2000, 0x1004, 0)
+        mech, handle = self.frontend.predict(0x1000, 0)
+        assert self.frontend.target_matches(handle, 0x2000)
+        assert not self.frontend.target_matches(handle, 0x2004)
+
+
+class TestBoundFrontEnds:
+    def test_oracle(self):
+        frontend = OracleFrontEnd()
+        assert frontend.perfect is True
+        mech, handle = frontend.predict(0x1000, 0)
+        assert frontend.target_matches(handle, 0xDEAD0)
+
+    def test_fall_through(self):
+        frontend = FallThroughFrontEnd()
+        mech, handle = frontend.predict(0x1000, 0)
+        assert mech is None
+        assert not frontend.target_matches(handle, 0x1000)

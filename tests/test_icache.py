@@ -1,0 +1,174 @@
+"""Tests for the instruction cache: hits, LRU, listeners, statistics."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.icache import InstructionCache
+from repro.cache.replacement import make_policy
+
+
+def address_mapping_to_set(geometry: CacheGeometry, set_index: int, tag: int) -> int:
+    """Build an address that maps to (set_index, tag)."""
+    return (tag << (geometry.set_index_bits + geometry.offset_bits)) | (
+        set_index << geometry.offset_bits
+    )
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self, icache_8k_dm):
+        result = icache_8k_dm.access(0x1000)
+        assert not result.hit
+        result = icache_8k_dm.access(0x1000)
+        assert result.hit
+
+    def test_same_line_different_offsets_hit(self, icache_8k_dm):
+        icache_8k_dm.access(0x1000)
+        assert icache_8k_dm.access(0x101C).hit
+
+    def test_adjacent_lines_are_distinct(self, icache_8k_dm):
+        icache_8k_dm.access(0x1000)
+        assert not icache_8k_dm.access(0x1020).hit
+
+    def test_probe_does_not_mutate(self, icache_8k_dm):
+        assert icache_8k_dm.probe(0x1000) is None
+        assert icache_8k_dm.accesses == 0
+        icache_8k_dm.access(0x1000)
+        assert icache_8k_dm.probe(0x1000) == 0
+        assert icache_8k_dm.accesses == 1
+
+    def test_contains(self, icache_8k_dm):
+        assert not icache_8k_dm.contains(0x1000)
+        icache_8k_dm.access(0x1000)
+        assert icache_8k_dm.contains(0x1000)
+
+    def test_direct_mapped_conflict_evicts(self, icache_8k_dm):
+        g = icache_8k_dm.geometry
+        a = address_mapping_to_set(g, 5, 1)
+        b = address_mapping_to_set(g, 5, 2)
+        icache_8k_dm.access(a)
+        result = icache_8k_dm.access(b)
+        assert not result.hit
+        assert result.evicted_tag == g.tag(a)
+        assert not icache_8k_dm.contains(a)
+
+    def test_miss_rate(self, icache_8k_dm):
+        icache_8k_dm.access(0x1000)
+        icache_8k_dm.access(0x1000)
+        assert icache_8k_dm.miss_rate == pytest.approx(0.5)
+
+    def test_miss_rate_zero_when_untouched(self, icache_8k_dm):
+        assert icache_8k_dm.miss_rate == 0.0
+
+
+class TestAssociativity:
+    def test_two_way_holds_two_conflicting_lines(self, icache_8k_2w):
+        g = icache_8k_2w.geometry
+        a = address_mapping_to_set(g, 3, 1)
+        b = address_mapping_to_set(g, 3, 2)
+        icache_8k_2w.access(a)
+        icache_8k_2w.access(b)
+        assert icache_8k_2w.contains(a)
+        assert icache_8k_2w.contains(b)
+
+    def test_ways_are_stable_identifiers(self, icache_8k_2w):
+        g = icache_8k_2w.geometry
+        a = address_mapping_to_set(g, 3, 1)
+        b = address_mapping_to_set(g, 3, 2)
+        way_a = icache_8k_2w.access(a).way
+        way_b = icache_8k_2w.access(b).way
+        assert way_a != way_b
+        # hits return the same way
+        assert icache_8k_2w.access(a).way == way_a
+        assert icache_8k_2w.probe(b) == way_b
+
+    def test_lru_evicts_least_recent(self, icache_8k_2w):
+        g = icache_8k_2w.geometry
+        a = address_mapping_to_set(g, 3, 1)
+        b = address_mapping_to_set(g, 3, 2)
+        c = address_mapping_to_set(g, 3, 3)
+        icache_8k_2w.access(a)
+        icache_8k_2w.access(b)
+        icache_8k_2w.access(a)  # refresh a; b is now LRU
+        icache_8k_2w.access(c)
+        assert icache_8k_2w.contains(a)
+        assert not icache_8k_2w.contains(b)
+        assert icache_8k_2w.contains(c)
+
+
+class TestListeners:
+    def test_evict_listener_fires_with_old_tag(self, icache_8k_dm):
+        g = icache_8k_dm.geometry
+        events = []
+        icache_8k_dm.add_evict_listener(
+            lambda s, w, t: events.append(("evict", s, w, t))
+        )
+        a = address_mapping_to_set(g, 7, 1)
+        b = address_mapping_to_set(g, 7, 2)
+        icache_8k_dm.access(a)
+        assert events == []  # cold fill is not an eviction
+        icache_8k_dm.access(b)
+        assert events == [("evict", 7, 0, g.tag(a))]
+
+    def test_fill_listener_fires_on_every_fill(self, icache_8k_dm):
+        fills = []
+        icache_8k_dm.add_fill_listener(lambda s, w, t: fills.append((s, w, t)))
+        icache_8k_dm.access(0x1000)
+        icache_8k_dm.access(0x1000)
+        assert len(fills) == 1
+
+
+class TestManagement:
+    def test_flush_invalidates_but_keeps_stats(self, icache_8k_dm):
+        icache_8k_dm.access(0x1000)
+        icache_8k_dm.flush()
+        assert not icache_8k_dm.contains(0x1000)
+        assert icache_8k_dm.accesses == 1
+
+    def test_reset_statistics(self, icache_8k_dm):
+        icache_8k_dm.access(0x1000)
+        icache_8k_dm.reset_statistics()
+        assert icache_8k_dm.accesses == 0
+        assert icache_8k_dm.misses == 0
+        assert icache_8k_dm.contains(0x1000)
+
+    def test_resident_lines(self, icache_8k_dm):
+        assert icache_8k_dm.resident_lines() == 0
+        icache_8k_dm.access(0x1000)
+        icache_8k_dm.access(0x2000)
+        assert icache_8k_dm.resident_lines() == 2
+
+
+class TestReplacementPolicies:
+    def test_make_policy_names(self):
+        for name in ("lru", "fifo", "random", "LRU"):
+            assert make_policy(name, 4, 2) is not None
+
+    def test_make_policy_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("plru", 4, 2)
+
+    def test_fifo_ignores_touches(self):
+        policy = make_policy("fifo", 1, 2)
+        policy.insert(0, 0)
+        policy.insert(0, 1)
+        policy.touch(0, 0)  # would refresh under LRU
+        assert policy.victim(0) == 0  # FIFO still evicts the oldest
+
+    def test_lru_victim_rotation(self):
+        policy = make_policy("lru", 1, 2)
+        policy.insert(0, 0)
+        policy.insert(0, 1)
+        assert policy.victim(0) == 0
+        policy.touch(0, 0)
+        assert policy.victim(0) == 1
+
+    def test_random_policy_is_seeded(self):
+        a = make_policy("random", 1, 4)
+        b = make_policy("random", 1, 4)
+        assert [a.victim(0) for _ in range(10)] == [b.victim(0) for _ in range(10)]
+
+    def test_random_policy_reset_replays(self):
+        policy = make_policy("random", 1, 4)
+        first = [policy.victim(0) for _ in range(10)]
+        policy.reset()
+        assert [policy.victim(0) for _ in range(10)] == first

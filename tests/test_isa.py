@@ -1,0 +1,88 @@
+"""Tests for the ISA layer: branch taxonomy and address geometry."""
+
+import pytest
+
+from repro.isa import (
+    AddressSpace,
+    BranchKind,
+    BREAK_KINDS,
+    INSTRUCTION_BYTES,
+    align_instruction,
+    instruction_index,
+    is_break,
+    target_known_at_decode,
+    uses_return_stack,
+)
+
+
+class TestBranchKind:
+    def test_five_break_kinds(self):
+        assert len(BREAK_KINDS) == 5
+        assert BranchKind.NOT_A_BRANCH not in BREAK_KINDS
+
+    def test_is_break(self):
+        assert not is_break(BranchKind.NOT_A_BRANCH)
+        for kind in BREAK_KINDS:
+            assert is_break(kind)
+
+    def test_return_uses_stack(self):
+        assert uses_return_stack(BranchKind.RETURN)
+
+    def test_non_returns_do_not_use_stack(self):
+        for kind in BREAK_KINDS - {BranchKind.RETURN}:
+            assert not uses_return_stack(kind)
+
+    def test_direct_branches_resolve_at_decode(self):
+        assert target_known_at_decode(BranchKind.CONDITIONAL)
+        assert target_known_at_decode(BranchKind.UNCONDITIONAL)
+        assert target_known_at_decode(BranchKind.CALL)
+
+    def test_late_target_branches(self):
+        assert not target_known_at_decode(BranchKind.RETURN)
+        assert not target_known_at_decode(BranchKind.INDIRECT)
+
+
+class TestGeometryHelpers:
+    def test_instruction_bytes_is_four(self):
+        assert INSTRUCTION_BYTES == 4
+
+    def test_align_already_aligned(self):
+        assert align_instruction(0x1000) == 0x1000
+
+    def test_align_rounds_down(self):
+        assert align_instruction(0x1003) == 0x1000
+        assert align_instruction(0x1007) == 0x1004
+
+    def test_instruction_index(self):
+        assert instruction_index(0) == 0
+        assert instruction_index(4) == 1
+        assert instruction_index(0x100) == 0x40
+
+
+class TestAddressSpace:
+    def test_default_is_32_bit(self):
+        space = AddressSpace()
+        assert space.bits == 32
+        assert space.size == 1 << 32
+
+    def test_target_bits_drops_alignment_bits(self):
+        # the paper stores 30-bit targets in a 32-bit space (S7)
+        assert AddressSpace(32).target_bits == 30
+        assert AddressSpace(64).target_bits == 62
+
+    def test_contains(self):
+        space = AddressSpace(16)
+        assert space.contains(0)
+        assert space.contains(65535)
+        assert not space.contains(65536)
+        assert not space.contains(-1)
+
+    def test_wrap(self):
+        space = AddressSpace(16)
+        assert space.wrap(65536) == 0
+        assert space.wrap(65537) == 1
+
+    @pytest.mark.parametrize("bits", [15, 65, 0, -3])
+    def test_rejects_out_of_range_bits(self, bits):
+        with pytest.raises(ValueError):
+            AddressSpace(bits)

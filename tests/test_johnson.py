@@ -1,0 +1,88 @@
+"""Tests for Johnson's coupled successor-index design (S6.2)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.icache import InstructionCache
+from repro.core.johnson import JohnsonSuccessorIndex
+from repro.isa.branches import BranchKind
+
+
+def make(associativity=1, per_line=2):
+    cache = InstructionCache(CacheGeometry(8 * 1024, 32, associativity))
+    return cache, JohnsonSuccessorIndex(cache, predictors_per_line=per_line)
+
+
+class TestPointerBehaviour:
+    def test_cold_invalid(self):
+        cache, johnson = make()
+        cache.access(0x1000)
+        assert not johnson.lookup(0x1000).valid
+
+    def test_taken_writes_target_pointer(self):
+        cache, johnson = make()
+        cache.access(0x1000)
+        johnson.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0, 0x1004)
+        prediction = johnson.lookup(0x1000)
+        assert prediction.valid
+        assert prediction.line_field == cache.geometry.line_field(0x2000)
+
+    def test_not_taken_overwrites_with_fall_through(self):
+        # Johnson's one-bit behaviour: every execution rewrites the
+        # pointer — unlike the NLS, a not-taken erases the target (S6.2)
+        cache, johnson = make()
+        cache.access(0x1000)
+        johnson.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0, 0x1004)
+        johnson.update(0x1000, BranchKind.CONDITIONAL, False, 0x2000, 0, 0x1004)
+        prediction = johnson.lookup(0x1000)
+        assert prediction.line_field == cache.geometry.line_field(0x1004)
+
+    def test_implied_direction(self):
+        cache, johnson = make()
+        cache.access(0x1000)
+        johnson.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0, 0x1004)
+        prediction = johnson.lookup(0x1000)
+        assert johnson.implied_taken(prediction, 0x1004)
+        johnson.update(0x1000, BranchKind.CONDITIONAL, False, 0x2000, 0, 0x1004)
+        prediction = johnson.lookup(0x1000)
+        assert not johnson.implied_taken(prediction, 0x1004)
+
+    def test_invalid_implies_not_taken(self):
+        cache, johnson = make()
+        cache.access(0x1000)
+        assert not johnson.implied_taken(johnson.lookup(0x1000), 0x1004)
+
+
+class TestCoupling:
+    def test_eviction_invalidates(self):
+        cache, johnson = make()
+        a = 0x1000
+        b = a + cache.geometry.size_bytes
+        cache.access(a)
+        johnson.update(a, BranchKind.CONDITIONAL, True, 0x2000, 0, a + 4)
+        cache.access(b)
+        cache.access(a)
+        assert not johnson.lookup(a).valid
+        assert johnson.invalidations >= 1
+
+    def test_slots_partition_by_instruction_group(self):
+        cache, johnson = make(per_line=2)
+        cache.access(0x1000)
+        johnson.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0, 0x1004)
+        # 0x1010 is in the second group: still cold
+        assert not johnson.lookup(0x1010).valid
+
+    def test_update_dropped_when_line_absent(self):
+        cache, johnson = make()
+        johnson.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0, 0x1004)
+        cache.access(0x1000)
+        assert not johnson.lookup(0x1000).valid
+
+
+class TestValidation:
+    def test_rejects_bad_predictor_count(self):
+        cache = InstructionCache(CacheGeometry(8 * 1024, 32, 1))
+        with pytest.raises(ValueError):
+            JohnsonSuccessorIndex(cache, predictors_per_line=0)
+        with pytest.raises(ValueError):
+            JohnsonSuccessorIndex(cache, predictors_per_line=9)

@@ -1,0 +1,139 @@
+"""Tests for counters, reports, BEP/CPI arithmetic and averaging."""
+
+import pytest
+
+from repro.isa.branches import BranchKind
+from repro.metrics.counters import KindCounters, SimulationCounters
+from repro.metrics.report import PenaltyModel, SimulationReport, average_reports
+
+
+def make_report(
+    breaks=100,
+    misfetches=10,
+    mispredicts=5,
+    instructions=1000,
+    accesses=200,
+    misses=20,
+    penalties=None,
+):
+    return SimulationReport(
+        label="test",
+        program="prog",
+        n_instructions=instructions,
+        n_breaks=breaks,
+        misfetches=misfetches,
+        mispredicts=mispredicts,
+        icache_accesses=accesses,
+        icache_misses=misses,
+        penalties=penalties or PenaltyModel(),
+    )
+
+
+class TestCounters:
+    def test_record_exclusive_outcomes(self):
+        counters = SimulationCounters()
+        counters.record(BranchKind.CALL, misfetched=True, mispredicted=False)
+        counters.record(BranchKind.CALL, misfetched=False, mispredicted=True)
+        counters.record(BranchKind.CALL, misfetched=False, mispredicted=False)
+        assert counters.by_kind[BranchKind.CALL].executed == 3
+        assert counters.by_kind[BranchKind.CALL].correct == 1
+
+    def test_record_rejects_double_classification(self):
+        counters = SimulationCounters()
+        with pytest.raises(ValueError):
+            counters.record(BranchKind.CALL, misfetched=True, mispredicted=True)
+
+    def test_totals(self):
+        counters = SimulationCounters()
+        counters.record(BranchKind.CALL, True, False)
+        counters.record(BranchKind.RETURN, False, True)
+        assert counters.n_breaks == 2
+        assert counters.misfetches == 1
+        assert counters.mispredicts == 1
+
+    def test_check_detects_corruption(self):
+        counters = SimulationCounters()
+        counters.by_kind[BranchKind.CALL] = KindCounters(
+            executed=1, misfetched=2, mispredicted=0
+        )
+        with pytest.raises(ValueError):
+            counters.check()
+
+    def test_miss_rate(self):
+        counters = SimulationCounters()
+        counters.icache_accesses = 10
+        counters.icache_misses = 3
+        assert counters.icache_miss_rate == pytest.approx(0.3)
+
+
+class TestPenaltyModel:
+    def test_paper_defaults(self):
+        penalties = PenaltyModel()
+        assert penalties.misfetch == 1.0
+        assert penalties.mispredict == 4.0
+        assert penalties.icache_miss == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PenaltyModel(misfetch=-1)
+
+
+class TestReportArithmetic:
+    def test_bep_matches_paper_formula(self):
+        # BEP = (%MfB * 1 + %MpB * 4) / 100   (S5.2)
+        report = make_report(breaks=100, misfetches=10, mispredicts=5)
+        assert report.pct_misfetched == pytest.approx(10.0)
+        assert report.pct_mispredicted == pytest.approx(5.0)
+        assert report.bep == pytest.approx((10 * 1 + 5 * 4) / 100)
+
+    def test_bep_components(self):
+        report = make_report()
+        assert report.bep == pytest.approx(report.bep_misfetch + report.bep_mispredict)
+
+    def test_cpi_formula(self):
+        report = make_report(
+            breaks=100, misfetches=10, mispredicts=5, instructions=1000, misses=20
+        )
+        expected = (1000 + report.bep * 100 + 20 * 5) / 1000
+        assert report.cpi == pytest.approx(expected)
+
+    def test_cpi_never_below_one(self):
+        report = make_report(misfetches=0, mispredicts=0, misses=0)
+        assert report.cpi == pytest.approx(1.0)
+
+    def test_zero_breaks_defines_zero_rates(self):
+        report = make_report(breaks=0, misfetches=0, mispredicts=0)
+        assert report.pct_misfetched == 0.0
+        assert report.bep == 0.0
+
+    def test_custom_penalties(self):
+        penalties = PenaltyModel(misfetch=2.0, mispredict=8.0, icache_miss=10.0)
+        report = make_report(penalties=penalties)
+        assert report.bep == pytest.approx((10 * 2 + 5 * 8) / 100)
+
+    def test_summary_contains_key_numbers(self):
+        text = make_report().summary()
+        assert "BEP" in text and "CPI" in text
+
+
+class TestAveraging:
+    def test_equal_weight_program_average(self):
+        # the paper averages per-program rates with equal weight
+        a = make_report(breaks=100, misfetches=10, mispredicts=0)
+        b = make_report(breaks=10000, misfetches=0, mispredicts=0)
+        average = average_reports([a, b])
+        assert average.pct_misfetched == pytest.approx(5.0, abs=0.01)
+
+    def test_average_bep(self):
+        a = make_report(breaks=1000, misfetches=100, mispredicts=50)
+        b = make_report(breaks=1000, misfetches=200, mispredicts=100)
+        average = average_reports([a, b])
+        assert average.bep == pytest.approx((a.bep + b.bep) / 2, abs=0.01)
+
+    def test_average_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_reports([])
+
+    def test_average_label(self):
+        average = average_reports([make_report()], label="overall")
+        assert average.label == "overall"

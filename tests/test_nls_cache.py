@@ -1,0 +1,146 @@
+"""Tests for the NLS-cache (line-coupled predictors)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.icache import InstructionCache
+from repro.core.nls_cache import NLSCache
+from repro.core.nls_entry import NLSEntryType
+from repro.isa.branches import BranchKind
+
+
+def make(associativity=1, per_line=2, policy="partition", size_kb=8):
+    cache = InstructionCache(CacheGeometry(size_kb * 1024, 32, associativity))
+    return cache, NLSCache(cache, predictors_per_line=per_line, policy=policy)
+
+
+class TestLookupUpdate:
+    def test_cold_invalid(self):
+        cache, nls = make()
+        cache.access(0x1000)
+        assert not nls.lookup(0x1000).valid
+
+    def test_trains_and_predicts(self):
+        cache, nls = make()
+        cache.access(0x1000)
+        nls.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0)
+        prediction = nls.lookup(0x1000)
+        assert prediction.valid
+        assert prediction.type == NLSEntryType.CONDITIONAL
+        assert prediction.line_field == cache.geometry.line_field(0x2000)
+
+    def test_lookup_without_resident_line_is_invalid(self):
+        cache, nls = make()
+        assert not nls.lookup(0x1000).valid
+
+    def test_update_dropped_when_line_not_resident(self):
+        cache, nls = make()
+        nls.update(0x1000, BranchKind.CALL, True, 0x2000, 0)
+        cache.access(0x1000)
+        assert not nls.lookup(0x1000).valid
+
+    def test_not_taken_preserves_pointer(self):
+        cache, nls = make()
+        cache.access(0x1000)
+        nls.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0)
+        nls.update(0x1000, BranchKind.CONDITIONAL, False)
+        assert nls.lookup(0x1000).line_field == cache.geometry.line_field(0x2000)
+
+
+class TestEvictionCoupling:
+    def test_eviction_discards_predictors(self):
+        # the key NLS-cache weakness: "prediction information
+        # associated with a replaced cache line is discarded" (S4.1)
+        cache, nls = make()
+        g = cache.geometry
+        a = 0x1000
+        b = a + g.size_bytes  # same set, different tag
+        cache.access(a)
+        nls.update(a, BranchKind.CONDITIONAL, True, 0x2000, 0)
+        cache.access(b)  # evicts a
+        cache.access(a)  # refill: predictors are gone
+        assert not nls.lookup(a).valid
+        assert nls.invalidations >= 1
+
+    def test_flush_clears_all(self):
+        cache, nls = make()
+        cache.access(0x1000)
+        nls.update(0x1000, BranchKind.CALL, True, 0x2000, 0)
+        nls.flush()
+        assert nls.valid_entries() == 0
+
+
+class TestPartitionPolicy:
+    def test_two_predictors_cover_half_lines_each(self):
+        cache, nls = make(per_line=2)
+        cache.access(0x1000)
+        # instructions 0-3 share predictor 0; 4-7 share predictor 1
+        nls.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0)
+        nls.update(0x1010, BranchKind.CALL, True, 0x3000, 0)
+        assert nls.lookup(0x1000).type == NLSEntryType.CONDITIONAL
+        assert nls.lookup(0x1010).type == NLSEntryType.OTHER
+
+    def test_same_half_branches_collide(self):
+        cache, nls = make(per_line=2)
+        cache.access(0x1000)
+        nls.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0)
+        nls.update(0x1004, BranchKind.CALL, True, 0x3000, 0)
+        # 0x1000 now reads 0x1004's entry (shared slot, no tag)
+        assert nls.lookup(0x1000).type == NLSEntryType.OTHER
+
+    def test_four_predictors_per_line(self):
+        cache, nls = make(per_line=4)
+        cache.access(0x1000)
+        for offset, kind in ((0x0, BranchKind.CONDITIONAL), (0x8, BranchKind.CALL)):
+            nls.update(0x1000 + offset, kind, True, 0x2000, 0)
+        assert nls.lookup(0x1000).type == NLSEntryType.CONDITIONAL
+        assert nls.lookup(0x1008).type == NLSEntryType.OTHER
+
+
+class TestLRUPolicy:
+    def test_offset_tagged_lookup(self):
+        cache, nls = make(per_line=2, policy="lru")
+        cache.access(0x1000)
+        nls.update(0x1004, BranchKind.CALL, True, 0x2000, 0)
+        # a different offset has no trained slot -> invalid
+        assert not nls.lookup(0x1000).valid
+        assert nls.lookup(0x1004).valid
+
+    def test_lru_replacement_among_slots(self):
+        cache, nls = make(per_line=2, policy="lru")
+        cache.access(0x1000)
+        nls.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0)
+        nls.update(0x1004, BranchKind.CALL, True, 0x2100, 0)
+        nls.lookup(0x1000)  # refresh slot for offset 0
+        nls.update(0x1008, BranchKind.RETURN, True, 0x2200, 0)  # evicts offset 1
+        assert nls.lookup(0x1000).valid
+        assert not nls.lookup(0x1004).valid
+        assert nls.lookup(0x1008).valid
+
+
+class TestAssociativeCarrier:
+    def test_predictors_follow_their_way(self):
+        cache, nls = make(associativity=2)
+        g = cache.geometry
+        a = 0x1000
+        b = a + g.size_bytes // 2  # same set, other way
+        way_a = cache.access(a).way
+        way_b = cache.access(b).way
+        assert way_a != way_b
+        nls.update(a, BranchKind.CONDITIONAL, True, 0x2000, 0)
+        assert nls.lookup(a, way_a).valid
+        assert not nls.lookup(b, way_b).valid
+
+
+class TestValidation:
+    def test_rejects_bad_predictor_count(self):
+        cache = InstructionCache(CacheGeometry(8 * 1024, 32, 1))
+        with pytest.raises(ValueError):
+            NLSCache(cache, predictors_per_line=0)
+        with pytest.raises(ValueError):
+            NLSCache(cache, predictors_per_line=16)
+
+    def test_rejects_unknown_policy(self):
+        cache = InstructionCache(CacheGeometry(8 * 1024, 32, 1))
+        with pytest.raises(ValueError):
+            NLSCache(cache, policy="fifo")

@@ -1,0 +1,147 @@
+"""Tests for the NLS entry semantics and the tag-less NLS-table."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.icache import InstructionCache
+from repro.core.nls_entry import (
+    INVALID_PREDICTION,
+    NLSEntryType,
+    NLSPrediction,
+    nls_type_for,
+    verify_nls_target,
+)
+from repro.core.nls_table import NLSTable
+from repro.isa.branches import BranchKind
+
+
+class TestTypeField:
+    def test_mapping_matches_paper_table(self):
+        assert nls_type_for(BranchKind.RETURN) == NLSEntryType.RETURN
+        assert nls_type_for(BranchKind.CONDITIONAL) == NLSEntryType.CONDITIONAL
+        for kind in (BranchKind.UNCONDITIONAL, BranchKind.CALL, BranchKind.INDIRECT):
+            assert nls_type_for(kind) == NLSEntryType.OTHER
+
+    def test_rejects_non_branch(self):
+        with pytest.raises(ValueError):
+            nls_type_for(BranchKind.NOT_A_BRANCH)
+
+    def test_invalid_prediction_is_invalid(self):
+        assert not INVALID_PREDICTION.valid
+        assert NLSPrediction(NLSEntryType.OTHER, 3, 0).valid
+
+
+class TestVerification:
+    def setup_method(self):
+        self.cache = InstructionCache(CacheGeometry(8 * 1024, 32, 2))
+        self.geometry = self.cache.geometry
+
+    def prediction_for(self, target, way):
+        return NLSPrediction(NLSEntryType.OTHER, self.geometry.line_field(target), way)
+
+    def test_correct_when_resident_at_predicted_way(self):
+        target = 0x2000
+        way = self.cache.access(target).way
+        assert verify_nls_target(self.prediction_for(target, way), target, self.cache)
+
+    def test_fails_when_line_displaced(self):
+        # displacement -> misfetch plus the cache miss (S7)
+        target = 0x2000
+        way = self.cache.access(target).way
+        prediction = self.prediction_for(target, way)
+        self.cache.flush()
+        assert not verify_nls_target(prediction, target, self.cache)
+
+    def test_fails_on_wrong_way(self):
+        target = 0x2000
+        way = self.cache.access(target).way
+        assert not verify_nls_target(
+            self.prediction_for(target, way ^ 1), target, self.cache
+        )
+
+    def test_fails_on_line_field_mismatch(self):
+        target = 0x2000
+        way = self.cache.access(target).way
+        other = target + 4  # different instruction offset
+        assert not verify_nls_target(self.prediction_for(other, way), target, self.cache)
+
+    def test_fails_on_invalid(self):
+        assert not verify_nls_target(INVALID_PREDICTION, 0x2000, self.cache)
+
+    def test_direct_mapped_ignores_way_field(self):
+        cache = InstructionCache(CacheGeometry(8 * 1024, 32, 1))
+        target = 0x2000
+        cache.access(target)
+        prediction = NLSPrediction(
+            NLSEntryType.OTHER, cache.geometry.line_field(target), way=1
+        )
+        assert verify_nls_target(prediction, target, cache)
+
+
+class TestNLSTable:
+    def setup_method(self):
+        self.geometry = CacheGeometry(8 * 1024, 32, 1)
+        self.table = NLSTable(1024, self.geometry)
+
+    def test_cold_lookup_is_invalid(self):
+        assert not self.table.lookup(0x1000).valid
+
+    def test_taken_update_trains_all_fields(self):
+        self.table.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0)
+        prediction = self.table.lookup(0x1000)
+        assert prediction.type == NLSEntryType.CONDITIONAL
+        assert prediction.line_field == self.geometry.line_field(0x2000)
+
+    def test_not_taken_updates_type_only(self):
+        # a fall-through execution "should not erase the pointer to
+        # the target instruction" (S4)
+        self.table.update(0x1000, BranchKind.CONDITIONAL, True, 0x2000, 0)
+        self.table.update(0x1000, BranchKind.CONDITIONAL, False)
+        prediction = self.table.lookup(0x1000)
+        assert prediction.line_field == self.geometry.line_field(0x2000)
+
+    def test_not_taken_still_sets_type(self):
+        self.table.update(0x1000, BranchKind.CONDITIONAL, False)
+        assert self.table.lookup(0x1000).type == NLSEntryType.CONDITIONAL
+
+    def test_tagless_aliasing(self):
+        # two branches one table-span apart share a slot
+        stride = 1024 * 4
+        self.table.update(0x1000, BranchKind.CALL, True, 0x2000, 0)
+        prediction = self.table.lookup(0x1000 + stride)
+        assert prediction.valid  # tag-less: the alias is served
+        assert prediction.type == NLSEntryType.OTHER
+
+    def test_alias_rate_tracked(self):
+        stride = 1024 * 4
+        self.table.update(0x1000, BranchKind.CALL, True, 0x2000, 0)
+        self.table.lookup(0x1000)
+        self.table.lookup(0x1000 + stride)
+        assert self.table.alias_lookups == 1
+        assert self.table.alias_rate == pytest.approx(0.5)
+
+    def test_way_field_stored(self):
+        geometry = CacheGeometry(8 * 1024, 32, 4)
+        table = NLSTable(512, geometry)
+        table.update(0x1000, BranchKind.CALL, True, 0x2000, target_way=3)
+        assert table.lookup(0x1000).way == 3
+
+    def test_valid_entries_and_flush(self):
+        self.table.update(0x1000, BranchKind.CALL, True, 0x2000, 0)
+        self.table.update(0x1004, BranchKind.RETURN, True, 0x3000, 0)
+        assert self.table.valid_entries() == 2
+        self.table.flush()
+        assert self.table.valid_entries() == 0
+
+    def test_index_uses_word_address(self):
+        assert self.table.index_of(0x0) == 0
+        assert self.table.index_of(0x4) == 1
+        assert self.table.index_of(1024 * 4) == 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            NLSTable(1000, self.geometry)
+
+    def test_paper_sizes(self):
+        for entries in (512, 1024, 2048):
+            assert NLSTable(entries, self.geometry).entries == entries

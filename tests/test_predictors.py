@@ -1,0 +1,320 @@
+"""Tests for direction predictors, counters and the return stack."""
+
+import pytest
+
+from repro.predictors.counters import CounterArray, SaturatingCounter
+from repro.predictors.pht import (
+    BimodalPredictor,
+    GAgPredictor,
+    GlobalHistoryRegister,
+    GSharePredictor,
+    PanDegeneratePredictor,
+    make_direction_predictor,
+)
+from repro.predictors.ras import ReturnAddressStack
+from repro.predictors.static_ import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BTFNTPredictor,
+)
+
+
+class TestSaturatingCounter:
+    def test_initial_weakly_not_taken(self):
+        counter = SaturatingCounter(bits=2)
+        assert counter.value == 1
+        assert not counter.taken
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.update(True)
+        assert counter.value == 3
+        assert counter.taken
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2, initial=3)
+        for _ in range(10):
+            counter.update(False)
+        assert counter.value == 0
+
+    def test_hysteresis(self):
+        counter = SaturatingCounter(bits=2, initial=3)
+        counter.update(False)
+        assert counter.taken  # one not-taken does not flip a strong state
+        counter.update(False)
+        assert not counter.taken
+
+    def test_one_bit_counter(self):
+        counter = SaturatingCounter(bits=1, initial=0)
+        assert not counter.taken
+        counter.update(True)
+        assert counter.taken
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+
+class TestCounterArray:
+    def test_independent_entries(self):
+        array = CounterArray(8)
+        array.update(0, True)
+        array.update(0, True)
+        assert array.predict(0)
+        assert not array.predict(1)
+
+    def test_reset(self):
+        array = CounterArray(4)
+        array.update(2, True)
+        array.update(2, True)
+        array.reset()
+        assert not array.predict(2)
+
+    def test_value_accessor(self):
+        array = CounterArray(4)
+        assert array.value(0) == 1
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            CounterArray(0)
+        with pytest.raises(ValueError):
+            CounterArray(4, bits=0)
+
+
+class TestGlobalHistory:
+    def test_push_shifts_in_low_bit(self):
+        history = GlobalHistoryRegister(4)
+        history.push(True)
+        history.push(False)
+        history.push(True)
+        assert history.value == 0b101
+
+    def test_window_is_bounded(self):
+        history = GlobalHistoryRegister(2)
+        for _ in range(5):
+            history.push(True)
+        assert history.value == 0b11
+
+    def test_reset(self):
+        history = GlobalHistoryRegister(4)
+        history.push(True)
+        history.reset()
+        assert history.value == 0
+
+
+class TestGShare:
+    def test_learns_biased_branch(self):
+        predictor = GSharePredictor(entries=4096)
+        pc = 0x4000
+        mispredicts = 0
+        for _ in range(200):
+            if predictor.predict(pc) is not True:
+                mispredicts += 1
+            predictor.update(pc, True)
+        assert mispredicts < 20
+
+    def test_learns_short_loop_pattern(self):
+        # 3 taken, 1 not-taken repeating: gshare separates the
+        # contexts through the history register
+        predictor = GSharePredictor(entries=4096)
+        pc = 0x4000
+        pattern = [True, True, True, False] * 100
+        mispredicts = 0
+        for outcome in pattern[-200:]:
+            pass
+        for index, outcome in enumerate(pattern):
+            predicted = predictor.predict(pc)
+            if index >= 200 and predicted != outcome:
+                mispredicts += 1
+            predictor.update(pc, outcome)
+        assert mispredicts < 10
+
+    def test_update_trains_predicted_index(self):
+        predictor = GSharePredictor(entries=16)
+        pc = 0x4000
+        predictor.update(pc, True)
+        predictor.update(pc, True)
+        # history has shifted, but training happened at matching indices
+        assert isinstance(predictor.predict(pc), bool)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(entries=1000)
+
+
+class TestOtherPHTs:
+    @pytest.mark.parametrize(
+        "cls", [PanDegeneratePredictor, GAgPredictor, BimodalPredictor]
+    )
+    def test_learns_always_taken(self, cls):
+        predictor = cls(entries=1024)
+        pc = 0x4000
+        for _ in range(50):
+            predictor.update(pc, True)
+        assert predictor.predict(pc)
+
+    def test_bimodal_is_history_free(self):
+        predictor = BimodalPredictor(entries=1024)
+        a, b = 0x4000, 0x4004
+        for _ in range(4):
+            predictor.update(a, True)
+            predictor.update(b, False)
+        assert predictor.predict(a)
+        assert not predictor.predict(b)
+
+    def test_factory_builds_all_names(self):
+        for name in ("gshare", "pan", "gag", "bimodal", "taken", "not-taken", "btfnt"):
+            predictor = make_direction_predictor(name)
+            assert hasattr(predictor, "predict")
+            assert hasattr(predictor, "update")
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_direction_predictor("tage")
+
+
+class TestStaticPredictors:
+    def test_always_taken(self):
+        assert AlwaysTakenPredictor().predict(0x100, 0x200)
+
+    def test_always_not_taken(self):
+        assert not AlwaysNotTakenPredictor().predict(0x100, 0x200)
+
+    def test_btfnt(self):
+        predictor = BTFNTPredictor()
+        assert predictor.predict(pc=0x200, target=0x100)  # backward: taken
+        assert not predictor.predict(pc=0x100, target=0x200)  # forward: not
+
+    def test_updates_are_no_ops(self):
+        predictor = BTFNTPredictor()
+        predictor.update(0x100, True)  # must not raise
+
+
+class TestReturnAddressStack:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_peek(self):
+        ras = ReturnAddressStack(4)
+        assert ras.peek() is None
+        ras.push(0x100)
+        assert ras.peek() == 0x100
+        assert ras.depth == 1  # peek does not pop
+
+    def test_overflow_overwrites_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x100)
+        ras.push(0x200)
+        ras.push(0x300)  # overwrites 0x100
+        assert ras.pop() == 0x300
+        assert ras.pop() == 0x200
+        assert ras.pop() is None  # 0x100 was lost — deep recursion cost
+
+    def test_depth_saturates_at_capacity(self):
+        ras = ReturnAddressStack(2)
+        for address in (1, 2, 3, 4):
+            ras.push(address * 4)
+        assert ras.depth == 2
+
+    def test_clear(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.clear()
+        assert ras.depth == 0
+        assert ras.pop() is None
+
+    def test_statistics(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.pop()
+        assert ras.pushes == 1
+        assert ras.pops == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+    def test_paper_default_is_32(self):
+        assert ReturnAddressStack().capacity == 32
+
+
+class TestPAg:
+    def test_learns_local_period(self):
+        from repro.predictors.pht import PAgPredictor
+
+        predictor = PAgPredictor(entries=4096)
+        pc = 0x4000
+        pattern = [True, True, False] * 200
+        mispredicts = 0
+        for index, outcome in enumerate(pattern):
+            if index >= 100 and predictor.predict(pc) != outcome:
+                mispredicts += 1
+            predictor.update(pc, outcome)
+        assert mispredicts < 10  # local history nails the period
+
+    def test_per_branch_histories_independent(self):
+        from repro.predictors.pht import PAgPredictor
+
+        predictor = PAgPredictor(entries=1024, history_entries=1024)
+        a, b = 0x4000, 0x4004
+        for _ in range(100):
+            predictor.update(a, True)
+            predictor.update(b, False)
+        assert predictor.predict(a)
+        assert not predictor.predict(b)
+
+
+class TestCombining:
+    def test_beats_or_matches_components_on_mixed_stream(self):
+        import random
+
+        from repro.predictors.pht import (
+            BimodalPredictor,
+            CombiningPredictor,
+            GSharePredictor,
+        )
+
+        rng = random.Random(7)
+        # branch A: biased; branch B: periodic (suits local/bimodal vs
+        # gshare differently)
+        stream = []
+        pattern_position = 0
+        for _ in range(3000):
+            if rng.random() < 0.5:
+                stream.append((0x4000, rng.random() < 0.9))
+            else:
+                stream.append((0x4004, pattern_position % 2 == 0))
+                pattern_position += 1
+
+        def score(predictor):
+            wrong = 0
+            for index, (pc, outcome) in enumerate(stream):
+                if index > 500 and predictor.predict(pc) != outcome:
+                    wrong += 1
+                predictor.update(pc, outcome)
+            return wrong
+
+        combined = score(CombiningPredictor(entries=4096))
+        bimodal = score(BimodalPredictor(entries=4096))
+        gshare = score(GSharePredictor(entries=4096))
+        assert combined <= min(bimodal, gshare) * 1.25
+
+    def test_factory_knows_new_schemes(self):
+        from repro.predictors.pht import make_direction_predictor
+
+        for name in ("pag", "combining"):
+            predictor = make_direction_predictor(name)
+            predictor.update(0x1000, True)
+            assert isinstance(predictor.predict(0x1000), bool)

@@ -1,0 +1,62 @@
+"""Tests for the fall-through way predictor (S4.2, second approach)."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.icache import InstructionCache
+from repro.cache.setpred import FallThroughWayPredictor
+
+
+def make():
+    cache = InstructionCache(CacheGeometry(8 * 1024, 32, 2))
+    return cache, FallThroughWayPredictor(cache)
+
+
+class TestPrediction:
+    def test_cold_returns_none(self):
+        cache, predictor = make()
+        cache.access(0x1000)
+        assert predictor.predict(0x1000) is None
+
+    def test_absent_carrier_returns_none(self):
+        cache, predictor = make()
+        assert predictor.predict(0x1000) is None
+
+    def test_trains_and_predicts(self):
+        cache, predictor = make()
+        cache.access(0x1000)
+        successor_way = cache.access(0x1020).way
+        predictor.update(0x1000, successor_way)
+        assert predictor.predict(0x1000) == successor_way
+
+    def test_eviction_clears_state(self):
+        cache, predictor = make()
+        g = cache.geometry
+        a = 0x1000
+        cache.access(a)
+        predictor.update(a, 1)
+        # evict a by filling both ways of its set with other tags
+        cache.access(a + g.size_bytes // 2)
+        cache.access(a + g.size_bytes)
+        cache.access(a + 3 * g.size_bytes // 2)
+        cache.access(a)
+        assert predictor.predict(a) is None
+
+    def test_update_on_absent_carrier_is_dropped(self):
+        cache, predictor = make()
+        predictor.update(0x1000, 1)
+        cache.access(0x1000)
+        assert predictor.predict(0x1000) is None
+
+
+class TestAccounting:
+    def test_record_outcome(self):
+        cache, predictor = make()
+        assert predictor.record_outcome(1, 1)
+        assert not predictor.record_outcome(0, 1)
+        assert not predictor.record_outcome(None, 0)  # cold counts wrong
+        assert predictor.predictions == 3
+        assert predictor.correct == 1
+        assert predictor.accuracy == 1 / 3
+
+    def test_accuracy_zero_when_unused(self):
+        cache, predictor = make()
+        assert predictor.accuracy == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the block-compressed trace container."""
+
+import pytest
+
+from repro.isa.branches import BranchKind
+from repro.workloads.trace import Trace, TraceEvent
+
+
+class TestAppendAndAccess:
+    def test_counts(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4, BranchKind.CALL, True, 0x2000)
+        trace.append(0x2000, 3, BranchKind.RETURN, True, 0x1010)
+        assert trace.n_events == 2
+        assert len(trace) == 2
+        assert trace.n_instructions == 7
+        assert trace.n_breaks == 2
+
+    def test_branch_pc_is_last_instruction(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4, BranchKind.CALL, True, 0x2000)
+        assert trace.branch_pc(0) == 0x100C
+
+    def test_event_materialisation(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4, BranchKind.CALL, True, 0x2000)
+        event = trace.event(0)
+        assert isinstance(event, TraceEvent)
+        assert event.branch_pc == 0x100C
+        assert event.fall_through == 0x1010
+        assert event.kind == BranchKind.CALL
+
+    def test_events_iterator(self):
+        trace = Trace("t")
+        trace.append(0x1000, 1)
+        trace.append(0x1004, 1)
+        assert len(list(trace.events())) == 2
+
+    def test_non_branch_events_counted(self):
+        trace = Trace("t")
+        trace.append(0x1000, 10)
+        assert trace.n_breaks == 0
+
+    def test_rejects_empty_block(self):
+        trace = Trace("t")
+        with pytest.raises(ValueError):
+            trace.append(0x1000, 0)
+
+    def test_rejects_unaligned_start(self):
+        trace = Trace("t")
+        with pytest.raises(ValueError):
+            trace.append(0x1001, 1)
+
+
+class TestValidation:
+    def test_valid_taken_chain(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4, BranchKind.UNCONDITIONAL, True, 0x2000)
+        trace.append(0x2000, 4, BranchKind.UNCONDITIONAL, True, 0x1000)
+        trace.validate()
+
+    def test_valid_fall_through(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4, BranchKind.CONDITIONAL, False, 0x9000)
+        trace.append(0x1010, 4)
+        trace.validate()
+
+    def test_detects_broken_taken_edge(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4, BranchKind.UNCONDITIONAL, True, 0x2000)
+        trace.append(0x3000, 4)
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_detects_broken_fall_through(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4, BranchKind.CONDITIONAL, False, 0x9000)
+        trace.append(0x2000, 4)
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_non_branch_must_fall_through(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4)
+        trace.append(0x2000, 4)
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_final_event_unconstrained(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4, BranchKind.RETURN, True, 0)
+        trace.validate()  # no successor to check
+
+
+class TestArraysAndPersistence:
+    def test_to_arrays_shapes(self):
+        trace = Trace("t")
+        trace.append(0x1000, 4, BranchKind.CALL, True, 0x2000)
+        arrays = trace.to_arrays()
+        assert arrays["starts"].shape == (1,)
+        assert arrays["kinds"][0] == int(BranchKind.CALL)
+        assert bool(arrays["takens"][0]) is True
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace("roundtrip")
+        trace.append(0x1000, 4, BranchKind.UNCONDITIONAL, True, 0x2000)
+        trace.append(0x2000, 8, BranchKind.RETURN, True, 0x1010)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "roundtrip"
+        assert loaded.starts == trace.starts
+        assert loaded.counts == trace.counts
+        assert loaded.kinds == trace.kinds
+        assert loaded.takens == trace.takens
+        assert loaded.targets == trace.targets
