@@ -1,0 +1,64 @@
+"""Serial vs parallel execution of a deduplicated full-figure sweep.
+
+Pools the cells of fig4, fig5 and fig8 — which share most of their
+(config x program) grid — into one :class:`RunPlan`, then executes the
+unique cells on both backends.  Reports the dedup saving (requested vs
+executed cells), both wall times and the measured speedup, and asserts
+the two backends produce identical reports.  No minimum speedup is
+asserted: on a single-CPU host the process backend legitimately loses
+to serial by the pool's fork overhead.
+"""
+
+import time
+
+from conftest import BENCH_INSTRUCTIONS, run_once
+
+from repro.harness.experiments import SPECS
+from repro.harness.runner import RunPlan
+from repro.harness.tables import format_seconds
+
+PROGRAMS = ("li", "doduc")
+GRID = ((8, 1), (16, 1), (16, 4))
+
+
+def _pooled_plan() -> RunPlan:
+    plan = RunPlan()
+    for name in ("fig4", "fig5", "fig8"):
+        cells = SPECS[name].plan(
+            programs=PROGRAMS,
+            instructions=BENCH_INSTRUCTIONS,
+            cache_grid=GRID,
+        ).cells
+        plan.add_all(cells)
+    return plan
+
+
+def test_sweep_parallel(benchmark):
+    plan = _pooled_plan()
+    assert plan.unique < plan.requested  # cross-figure dedup must bite
+
+    started = time.perf_counter()
+    serial = RunPlan(plan.requests).execute(backend="serial")
+    serial_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_once(
+        benchmark,
+        RunPlan(plan.requests).execute,
+        backend="process",
+        jobs=0,
+    )
+    parallel_time = time.perf_counter() - started
+
+    assert serial == parallel  # byte-identical reports either way
+
+    speedup = serial_time / parallel_time if parallel_time else float("inf")
+    print()
+    print(
+        f"cells: {plan.requested} requested -> {plan.unique} executed "
+        f"({plan.requested - plan.unique} deduped across figures)"
+    )
+    print(
+        f"serial {format_seconds(serial_time)} vs process "
+        f"{format_seconds(parallel_time)} (speedup {speedup:.2f}x)"
+    )

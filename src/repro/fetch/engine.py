@@ -111,13 +111,20 @@ class FetchEngine:
         from the report while still training every structure — the
         paper's multi-hundred-million-instruction traces make cold
         start negligible, and warmup restores that property for the
-        scaled-down traces used here."""
+        scaled-down traces used here.
+
+        Front ends that keep a mismatch-cause histogram (the NLS
+        designs) have it snapshotted into ``report.frontend_stats`` so
+        downstream analyses never need the live engine — reports are
+        self-contained and cross process boundaries intact."""
         counters = self._simulate(trace, warmup_fraction)
+        stats = getattr(self.frontend, "mismatch_causes", None)
         return SimulationReport.from_counters(
             counters,
             label=label if label is not None else self.frontend.name,
             program=trace.name,
             penalties=self.penalties,
+            frontend_stats=dict(stats) if stats is not None else None,
         )
 
     # ------------------------------------------------------------------

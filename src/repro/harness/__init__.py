@@ -1,8 +1,36 @@
-"""Experiment harness: architecture configs, sweep runner, and one
-driver per table/figure of the paper (see ``python -m repro.harness``).
+"""Experiment harness: architecture configs, the spec → plan → backend
+executor, and one declarative spec per table/figure of the paper (see
+``python -m repro.harness`` and DESIGN.md, "Harness architecture").
 """
 
 from repro.harness.config import ArchitectureConfig
-from repro.harness.runner import simulate, sweep, run_config
+from repro.harness.runner import (
+    BACKENDS,
+    RunPlan,
+    RunRequest,
+    run_config,
+    run_request,
+    simulate,
+    sweep,
+)
+from repro.harness.spec import (
+    ExperimentPlan,
+    ExperimentResult,
+    ExperimentSpec,
+    run_plans,
+)
 
-__all__ = ["ArchitectureConfig", "simulate", "sweep", "run_config"]
+__all__ = [
+    "ArchitectureConfig",
+    "BACKENDS",
+    "ExperimentPlan",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "RunPlan",
+    "RunRequest",
+    "run_config",
+    "run_plans",
+    "run_request",
+    "simulate",
+    "sweep",
+]

@@ -4,8 +4,17 @@ Examples::
 
     python -m repro.harness table1
     python -m repro.harness fig5 --instructions 500000
-    python -m repro.harness all --out results/
+    python -m repro.harness list
+    python -m repro.harness all --out results/ --jobs 4
     repro-harness fig7 --programs gcc cfront
+
+``list`` prints every registered experiment with its simulation cell
+count (computed by materialising the plans — no simulation runs) and
+the cross-experiment dedup total.  ``--jobs N`` selects the executor
+backend: 1 (the default) is the in-process serial backend,
+bit-identical to the historical behaviour; any other value pools the
+requested experiments' cells into one deduplicated run plan and
+executes it on the multiprocessing backend (0 = one worker per CPU).
 """
 
 from __future__ import annotations
@@ -17,7 +26,10 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.harness.experiments import EXPERIMENTS, ExperimentResult
+from repro.harness.experiments import EXPERIMENTS, SPECS, ExperimentResult
+from repro.harness.runner import RunPlan
+from repro.harness.spec import run_plans
+from repro.harness.tables import format_seconds, format_table
 from repro.workloads.profiles import paper_programs
 
 
@@ -31,8 +43,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate ('all' runs everything)",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help=(
+            "which table/figure to regenerate ('all' runs everything, "
+            "'list' shows the registry with per-experiment cell counts)"
+        ),
     )
     parser.add_argument(
         "--programs",
@@ -46,6 +61,15 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="trace length override (default: each profile's calibrated length)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes: 1 = serial in-process (default), "
+            "0 = one per CPU, N = a pool of N (both via the 'process' backend)"
+        ),
     )
     parser.add_argument(
         "--out",
@@ -62,35 +86,97 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiment(name: str, args: argparse.Namespace) -> ExperimentResult:
-    function = EXPERIMENTS[name]
+def _experiment_kwargs(function, args: argparse.Namespace) -> dict:
+    """CLI overrides accepted by *function* (driver or plan builder)."""
     kwargs = {}
     signature = inspect.signature(function)
     if "programs" in signature.parameters and args.programs is not None:
         kwargs["programs"] = args.programs
     if "instructions" in signature.parameters and args.instructions is not None:
         kwargs["instructions"] = args.instructions
-    return function(**kwargs)
+    return kwargs
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> ExperimentResult:
+    function = EXPERIMENTS[name]
+    return function(**_experiment_kwargs(function, args))
+
+
+def _list_experiments(args: argparse.Namespace) -> int:
+    """``list`` subcommand: registry with cell counts and dedup totals."""
+    pooled = RunPlan()
+    rows = []
+    for name in sorted(SPECS):
+        spec = SPECS[name]
+        plan = spec.plan(**_experiment_kwargs(spec.build, args))
+        pooled.add_all(plan.cells)
+        rows.append((name, len(plan.cells), spec.summary))
+    print(format_table(["experiment", "cells", "summary"], rows))
+    print()
+    print(
+        f"{len(rows)} experiments; {pooled.requested} simulation cells "
+        f"requested, {pooled.unique} unique after cross-experiment dedup "
+        f"({pooled.requested - pooled.unique} shared)."
+    )
+    return 0
+
+
+def _write(result: ExperimentResult, args: argparse.Namespace) -> None:
+    if args.out:
+        from repro.harness.export import write_result
+
+        write_result(result, args.out, formats=tuple(args.formats))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-harness`` / ``python -m repro.harness``."""
     args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        return _list_experiments(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out:
         os.makedirs(args.out, exist_ok=True)
-    for name in names:
-        started = time.time()
-        result = _run_experiment(name, args)
-        elapsed = time.time() - started
+    if args.jobs == 1:
+        # serial path: run each experiment's own plan in-process,
+        # bit-identical to the historical per-figure loops
+        for name in names:
+            started = time.time()
+            result = _run_experiment(name, args)
+            elapsed = time.time() - started
+            print(f"=== {result.title} ===")
+            print(result.text)
+            print(f"[{name}: {elapsed:.1f}s]")
+            print()
+            _write(result, args)
+        return 0
+    # parallel path: pool every requested experiment's cells into one
+    # deduplicated plan and fan it out to the process backend
+    started = time.time()
+    plans = [
+        SPECS[name].plan(**_experiment_kwargs(SPECS[name].build, args))
+        for name in names
+        if name in SPECS
+    ]
+    jobs = None if args.jobs < 1 else args.jobs
+    results, plan = run_plans(plans, backend="process", jobs=jobs)
+    elapsed = time.time() - started
+    for result in results:
         print(f"=== {result.title} ===")
         print(result.text)
-        print(f"[{name}: {elapsed:.1f}s]")
         print()
-        if args.out:
-            from repro.harness.export import write_result
-
-            write_result(result, args.out, formats=tuple(args.formats))
+        _write(result, args)
+    for name in names:
+        if name not in SPECS:  # pragma: no cover - registry always covers
+            result = _run_experiment(name, args)
+            print(f"=== {result.title} ===")
+            print(result.text)
+            print()
+            _write(result, args)
+    print(
+        f"[{len(results)} experiments in {format_seconds(elapsed)}: "
+        f"{plan.requested} cells requested, {plan.unique} executed "
+        f"(process backend, jobs={args.jobs if args.jobs >= 1 else 'auto'})]"
+    )
     return 0
 
 

@@ -5,7 +5,7 @@ simulated front-end + cache, buildable into a fresh
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Optional, Tuple
 
 from repro.cache.geometry import CacheGeometry
@@ -125,6 +125,21 @@ class ArchitectureConfig:
     def with_cache(self, cache_kb: int, cache_assoc: int) -> "ArchitectureConfig":
         """Copy of this config with a different instruction cache."""
         return replace(self, cache_kb=cache_kb, cache_assoc=cache_assoc)
+
+    def describe(self) -> "dict":
+        """Provenance dict: label, frontend and every non-default field.
+
+        The compact form run metadata and exports use — default knobs
+        are elided so the description stays readable while still
+        reconstructing the configuration exactly.
+        """
+        defaults = ArchitectureConfig()
+        overrides = {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if getattr(self, spec.name) != getattr(defaults, spec.name)
+        }
+        return {"label": self.label(), "frontend": self.frontend, **overrides}
 
     # ------------------------------------------------------------------
 

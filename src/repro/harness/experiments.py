@@ -1,9 +1,21 @@
-"""Per-figure experiment drivers.
+"""Per-figure experiment specs.
 
-One function per table/figure of the paper.  Each returns an
-:class:`ExperimentResult` carrying both the rendered monospace text
-(what the CLI prints and EXPERIMENTS.md records) and the raw data
-(what the tests and benchmarks assert on).
+One :class:`~repro.harness.spec.ExperimentSpec` per table/figure of
+the paper.  Each spec's plan builder declares the simulation cells the
+experiment needs (as picklable :class:`~repro.harness.runner.RunRequest`
+values) and a small ``finish`` renderer that turns the cell reports
+into an :class:`ExperimentResult` carrying both the rendered monospace
+text (what the CLI prints and EXPERIMENTS.md records) and the raw data
+(what the tests and benchmarks assert on).  Cost-model experiments
+(fig3, fig6, address-space) declare zero cells and do all their work
+in the renderer.
+
+The module-level driver functions (``table1``, ``fig4``, ...) are
+kept as the stable public API: each materialises its spec's plan and
+executes it on the serial backend, bit-identical to the historical
+hand-rolled loops.  Cross-experiment dedup and parallel execution go
+through :func:`repro.harness.spec.run_plans` (see the CLI's
+``--jobs``).
 
 All simulation experiments accept ``programs`` / ``instructions`` /
 ``warmup`` so benchmarks can run scaled-down versions; defaults
@@ -12,14 +24,19 @@ reproduce the full configuration of the paper's evaluation (§5.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.geometry import CacheGeometry
 from repro.cost.rbe import RBEModel
 from repro.cost.timing import AccessTimeModel
 from repro.harness.config import ArchitectureConfig
-from repro.harness.runner import DEFAULT_WARMUP, simulate
+from repro.harness.runner import DEFAULT_WARMUP, RunRequest
+from repro.harness.spec import (
+    ExperimentPlan,
+    ExperimentResult,
+    ExperimentSpec,
+    ReportMap,
+)
 from repro.harness.tables import bep_chart, format_table
 from repro.metrics.report import SimulationReport, average_reports
 from repro.workloads.corpus import generate_trace
@@ -38,48 +55,77 @@ CACHE_GRID: Tuple[Tuple[int, int], ...] = (
 )
 
 
-@dataclass
-class ExperimentResult:
-    """Rendered text plus raw data of one regenerated table/figure."""
-
-    name: str
-    title: str
-    text: str
-    data: Dict[str, object] = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        return f"{self.title}\n\n{self.text}"
-
-
 def _programs(programs: Optional[Sequence[str]]) -> List[str]:
     return list(programs) if programs is not None else list(paper_programs())
 
 
-def _run(
+def _cells(
     config: ArchitectureConfig,
-    program: str,
+    programs: Sequence[str],
     instructions: Optional[int],
     warmup: float,
-) -> SimulationReport:
-    return simulate(
-        config, program, instructions=instructions, warmup_fraction=warmup
+    layout: str = "natural",
+) -> Tuple[RunRequest, ...]:
+    """One cell per program for *config*."""
+    return tuple(
+        RunRequest(
+            config=config,
+            program=program,
+            instructions=instructions,
+            layout=layout,
+            warmup=warmup,
+        )
+        for program in programs
     )
 
 
-def _average(
-    config: ArchitectureConfig,
-    programs: List[str],
-    instructions: Optional[int],
-    warmup: float,
-    label: str,
+def _mean(
+    reports: ReportMap, cells: Sequence[RunRequest], label: str
 ) -> SimulationReport:
-    reports = [_run(config, prog, instructions, warmup) for prog in programs]
-    return average_reports(reports, label=label)
+    """Equal-weight average of *cells*' reports, relabelled."""
+    return average_reports([reports[cell] for cell in cells], label=label)
 
 
 # ---------------------------------------------------------------------------
 # Table 1 — measured attributes of the traced programs
 # ---------------------------------------------------------------------------
+
+
+def _table1_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        lines = [TraceAttributes.header()]
+        rows = {}
+        for name in program_names:
+            profile = get_profile(name)
+            trace = generate_trace(name, instructions=instructions)
+            program = build_program(profile)
+            attributes = measure(trace, program)
+            rows[name] = attributes
+            lines.append(attributes.row())
+            paper = profile.paper
+            if paper is not None:
+                lines.append(
+                    f"{'  (paper)':<10} {paper.instructions:>13,} "
+                    f"{paper.pct_breaks:>7.2f} {paper.q50:>6} {paper.q90:>6} "
+                    f"{paper.q99:>6} {paper.q100:>7} "
+                    f"{paper.static_conditionals:>7} {paper.pct_taken:>7.2f} "
+                    f"{paper.pct_cbr:>6.2f} {paper.pct_ij:>5.2f} "
+                    f"{paper.pct_br:>5.2f} {paper.pct_call:>6.2f} "
+                    f"{paper.pct_ret:>6.2f}"
+                )
+        return ExperimentResult(
+            name="table1",
+            title="Table 1: measured attributes of the traced programs",
+            text="\n".join(lines),
+            data={"attributes": rows},
+        )
+
+    return ExperimentPlan(name="table1", cells=(), finish=finish)
 
 
 def table1(
@@ -88,32 +134,7 @@ def table1(
 ) -> ExperimentResult:
     """Regenerate Table 1 from the synthetic traces, with the paper's
     measured row under each program for comparison."""
-    lines = [TraceAttributes.header()]
-    rows = {}
-    for name in _programs(programs):
-        profile = get_profile(name)
-        trace = generate_trace(name, instructions=instructions)
-        program = build_program(profile)
-        attributes = measure(trace, program)
-        rows[name] = attributes
-        lines.append(attributes.row())
-        paper = profile.paper
-        if paper is not None:
-            lines.append(
-                f"{'  (paper)':<10} {paper.instructions:>13,} "
-                f"{paper.pct_breaks:>7.2f} {paper.q50:>6} {paper.q90:>6} "
-                f"{paper.q99:>6} {paper.q100:>7} "
-                f"{paper.static_conditionals:>7} {paper.pct_taken:>7.2f} "
-                f"{paper.pct_cbr:>6.2f} {paper.pct_ij:>5.2f} "
-                f"{paper.pct_br:>5.2f} {paper.pct_call:>6.2f} "
-                f"{paper.pct_ret:>6.2f}"
-            )
-    return ExperimentResult(
-        name="table1",
-        title="Table 1: measured attributes of the traced programs",
-        text="\n".join(lines),
-        data={"attributes": rows},
-    )
+    return _table1_plan(programs=programs, instructions=instructions).run()
 
 
 # ---------------------------------------------------------------------------
@@ -121,42 +142,110 @@ def table1(
 # ---------------------------------------------------------------------------
 
 
-def fig3(line_bytes: int = 32) -> ExperimentResult:
-    """Register-bit-equivalent costs of every studied structure."""
-    model = RBEModel()
-    rows: List[Tuple[str, int, float]] = []
-    data: Dict[str, float] = {}
-    for kb in (8, 16, 32, 64):
-        geometry = CacheGeometry(kb * 1024, line_bytes, 1)
-        cost = model.nls_cache_cost(geometry)
-        rows.append((cost.label, cost.storage_bits, cost.rbe))
-        data[f"nls-cache@{kb}K"] = cost.rbe
-    for entries in (512, 1024, 2048):
+def _fig3_plan(line_bytes: int = 32) -> ExperimentPlan:
+    def finish(reports: ReportMap) -> ExperimentResult:
+        model = RBEModel()
+        rows: List[Tuple[str, int, float]] = []
+        data: Dict[str, float] = {}
         for kb in (8, 16, 32, 64):
             geometry = CacheGeometry(kb * 1024, line_bytes, 1)
-            cost = model.nls_table_cost(entries, geometry)
+            cost = model.nls_cache_cost(geometry)
             rows.append((cost.label, cost.storage_bits, cost.rbe))
-            data[f"nls-table-{entries}@{kb}K"] = cost.rbe
-    for entries in (128, 256):
-        for assoc in (1, 2, 4):
-            cost = model.btb_cost(entries, assoc)
-            rows.append((cost.label, cost.storage_bits, cost.rbe))
-            data[f"btb-{entries}-{assoc}w"] = cost.rbe
-    text = format_table(
-        ["structure", "bits", "RBE"],
-        [(label, bits, f"{rbe:,.0f}") for label, bits, rbe in rows],
-    )
-    return ExperimentResult(
-        name="fig3",
-        title="Figure 3: register-bit-equivalent costs (Mulder et al. model)",
-        text=text,
-        data=data,
-    )
+            data[f"nls-cache@{kb}K"] = cost.rbe
+        for entries in (512, 1024, 2048):
+            for kb in (8, 16, 32, 64):
+                geometry = CacheGeometry(kb * 1024, line_bytes, 1)
+                cost = model.nls_table_cost(entries, geometry)
+                rows.append((cost.label, cost.storage_bits, cost.rbe))
+                data[f"nls-table-{entries}@{kb}K"] = cost.rbe
+        for entries in (128, 256):
+            for assoc in (1, 2, 4):
+                cost = model.btb_cost(entries, assoc)
+                rows.append((cost.label, cost.storage_bits, cost.rbe))
+                data[f"btb-{entries}-{assoc}w"] = cost.rbe
+        text = format_table(
+            ["structure", "bits", "RBE"],
+            [(label, bits, f"{rbe:,.0f}") for label, bits, rbe in rows],
+        )
+        return ExperimentResult(
+            name="fig3",
+            title="Figure 3: register-bit-equivalent costs (Mulder et al. model)",
+            text=text,
+            data=data,
+        )
+
+    return ExperimentPlan(name="fig3", cells=(), finish=finish)
+
+
+def fig3(line_bytes: int = 32) -> ExperimentResult:
+    """Register-bit-equivalent costs of every studied structure."""
+    return _fig3_plan(line_bytes=line_bytes).run()
 
 
 # ---------------------------------------------------------------------------
 # Figure 4 — NLS-cache vs NLS-table sizes, average BEP
 # ---------------------------------------------------------------------------
+
+
+def _fig4_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_grid: Sequence[Tuple[int, int]] = CACHE_GRID,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    entries_list = (512, 1024, 2048)
+    groups: List[Tuple[str, str, str, Tuple[RunRequest, ...]]] = []
+    for kb, assoc in cache_grid:
+        cache_label = f"{kb}K {assoc}-way"
+        config = ArchitectureConfig(
+            frontend="nls-cache", cache_kb=kb, cache_assoc=assoc
+        )
+        groups.append(
+            (
+                "nls-cache",
+                cache_label,
+                f"NLS-cache @ {cache_label}",
+                _cells(config, program_names, instructions, warmup),
+            )
+        )
+        for entries in entries_list:
+            config = ArchitectureConfig(
+                frontend="nls-table",
+                entries=entries,
+                cache_kb=kb,
+                cache_assoc=assoc,
+            )
+            groups.append(
+                (
+                    f"nls-table-{entries}",
+                    cache_label,
+                    f"{entries} NLS-table @ {cache_label}",
+                    _cells(config, program_names, instructions, warmup),
+                )
+            )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        chart_rows: List[Tuple[str, float, float]] = []
+        data: Dict[str, Dict[str, float]] = {}
+        for key, cache_label, label, cells in groups:
+            report = _mean(reports, cells, label)
+            chart_rows.append(
+                (report.label, report.bep_misfetch, report.bep_mispredict)
+            )
+            data.setdefault(key, {})[cache_label] = report.bep
+        return ExperimentResult(
+            name="fig4",
+            title=(
+                "Figure 4: average branch execution penalty, NLS-cache vs "
+                "512/1024/2048-entry NLS-tables"
+            ),
+            text=bep_chart(chart_rows),
+            data=data,
+        )
+
+    cells = tuple(cell for _, _, _, group in groups for cell in group)
+    return ExperimentPlan(name="fig4", cells=cells, finish=finish)
 
 
 def fig4(
@@ -167,52 +256,69 @@ def fig4(
 ) -> ExperimentResult:
     """Average BEP of the NLS-cache and 512/1024/2048-entry NLS-tables
     across instruction-cache configurations."""
-    programs = _programs(programs)
-    entries_list = (512, 1024, 2048)
-    chart_rows: List[Tuple[str, float, float]] = []
-    data: Dict[str, Dict[str, float]] = {}
-    for kb, assoc in cache_grid:
-        cache_label = f"{kb}K {assoc}-way"
-        config = ArchitectureConfig(
-            frontend="nls-cache", cache_kb=kb, cache_assoc=assoc
-        )
-        report = _average(
-            config, programs, instructions, warmup, f"NLS-cache @ {cache_label}"
-        )
-        chart_rows.append((report.label, report.bep_misfetch, report.bep_mispredict))
-        data.setdefault("nls-cache", {})[cache_label] = report.bep
-        for entries in entries_list:
-            config = ArchitectureConfig(
-                frontend="nls-table",
-                entries=entries,
-                cache_kb=kb,
-                cache_assoc=assoc,
-            )
-            report = _average(
-                config,
-                programs,
-                instructions,
-                warmup,
-                f"{entries} NLS-table @ {cache_label}",
-            )
-            chart_rows.append(
-                (report.label, report.bep_misfetch, report.bep_mispredict)
-            )
-            data.setdefault(f"nls-table-{entries}", {})[cache_label] = report.bep
-    return ExperimentResult(
-        name="fig4",
-        title=(
-            "Figure 4: average branch execution penalty, NLS-cache vs "
-            "512/1024/2048-entry NLS-tables"
-        ),
-        text=bep_chart(chart_rows),
-        data=data,
-    )
+    return _fig4_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        cache_grid=cache_grid,
+    ).run()
 
 
 # ---------------------------------------------------------------------------
 # Figure 5 — BTB vs 1024-entry NLS-table, average BEP
 # ---------------------------------------------------------------------------
+
+
+def _fig5_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_grid: Sequence[Tuple[int, int]] = CACHE_GRID,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups: List[Tuple[str, str, Tuple[RunRequest, ...]]] = []
+    for entries in (128, 256):
+        for assoc in (1, 4):
+            config = ArchitectureConfig(
+                frontend="btb", entries=entries, btb_assoc=assoc, cache_kb=16
+            )
+            groups.append(
+                (
+                    f"btb-{entries}-{assoc}w",
+                    f"{entries} {'direct' if assoc == 1 else f'{assoc}-way'} BTB",
+                    _cells(config, program_names, instructions, warmup),
+                )
+            )
+    for kb, assoc in cache_grid:
+        config = ArchitectureConfig(
+            frontend="nls-table", entries=1024, cache_kb=kb, cache_assoc=assoc
+        )
+        groups.append(
+            (
+                f"nls-1024@{kb}K-{assoc}w",
+                f"1024 NLS-table, {kb}K {'direct' if assoc == 1 else f'{assoc}-way'}",
+                _cells(config, program_names, instructions, warmup),
+            )
+        )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        chart_rows: List[Tuple[str, float, float]] = []
+        data: Dict[str, float] = {}
+        for key, label, cells in groups:
+            report = _mean(reports, cells, label)
+            chart_rows.append(
+                (report.label, report.bep_misfetch, report.bep_mispredict)
+            )
+            data[key] = report.bep
+        return ExperimentResult(
+            name="fig5",
+            title="Figure 5: average BEP, BTBs vs the 1024-entry NLS-table",
+            text=bep_chart(chart_rows),
+            data=data,
+        )
+
+    cells = tuple(cell for _, _, group in groups for cell in group)
+    return ExperimentPlan(name="fig5", cells=cells, finish=finish)
 
 
 def fig5(
@@ -228,44 +334,12 @@ def fig5(
     BEP does not depend on the instruction cache (§7), which fig8
     (CPI) and the data dict make checkable.
     """
-    programs = _programs(programs)
-    chart_rows: List[Tuple[str, float, float]] = []
-    data: Dict[str, float] = {}
-    for entries in (128, 256):
-        for assoc in (1, 4):
-            config = ArchitectureConfig(
-                frontend="btb", entries=entries, btb_assoc=assoc, cache_kb=16
-            )
-            report = _average(
-                config,
-                programs,
-                instructions,
-                warmup,
-                f"{entries} {'direct' if assoc == 1 else f'{assoc}-way'} BTB",
-            )
-            chart_rows.append(
-                (report.label, report.bep_misfetch, report.bep_mispredict)
-            )
-            data[f"btb-{entries}-{assoc}w"] = report.bep
-    for kb, assoc in cache_grid:
-        config = ArchitectureConfig(
-            frontend="nls-table", entries=1024, cache_kb=kb, cache_assoc=assoc
-        )
-        report = _average(
-            config,
-            programs,
-            instructions,
-            warmup,
-            f"1024 NLS-table, {kb}K {'direct' if assoc == 1 else f'{assoc}-way'}",
-        )
-        chart_rows.append((report.label, report.bep_misfetch, report.bep_mispredict))
-        data[f"nls-1024@{kb}K-{assoc}w"] = report.bep
-    return ExperimentResult(
-        name="fig5",
-        title="Figure 5: average BEP, BTBs vs the 1024-entry NLS-table",
-        text=bep_chart(chart_rows),
-        data=data,
-    )
+    return _fig5_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        cache_grid=cache_grid,
+    ).run()
 
 
 # ---------------------------------------------------------------------------
@@ -273,25 +347,34 @@ def fig5(
 # ---------------------------------------------------------------------------
 
 
+def _fig6_plan() -> ExperimentPlan:
+    def finish(reports: ReportMap) -> ExperimentResult:
+        model = AccessTimeModel()
+        rows = []
+        data: Dict[str, float] = {}
+        for entries in (128, 256):
+            for assoc in (1, 2, 4):
+                t = model.access_time_ns(entries, assoc)
+                ratio = model.associativity_penalty(entries, assoc)
+                label = (
+                    f"{entries}-entry {'direct' if assoc == 1 else f'{assoc}-way'}"
+                )
+                rows.append((label, f"{t:.2f}", f"{ratio:.2f}x"))
+                data[f"{entries}-{assoc}w"] = t
+        text = format_table(["BTB organisation", "access ns", "vs direct"], rows)
+        return ExperimentResult(
+            name="fig6",
+            title="Figure 6: BTB access time (Wilton-Jouppi style model)",
+            text=text,
+            data=data,
+        )
+
+    return ExperimentPlan(name="fig6", cells=(), finish=finish)
+
+
 def fig6() -> ExperimentResult:
     """BTB access-time estimates (CACTI-style model)."""
-    model = AccessTimeModel()
-    rows = []
-    data: Dict[str, float] = {}
-    for entries in (128, 256):
-        for assoc in (1, 2, 4):
-            t = model.access_time_ns(entries, assoc)
-            ratio = model.associativity_penalty(entries, assoc)
-            label = f"{entries}-entry {'direct' if assoc == 1 else f'{assoc}-way'}"
-            rows.append((label, f"{t:.2f}", f"{ratio:.2f}x"))
-            data[f"{entries}-{assoc}w"] = t
-    text = format_table(["BTB organisation", "access ns", "vs direct"], rows)
-    return ExperimentResult(
-        name="fig6",
-        title="Figure 6: BTB access time (Wilton-Jouppi style model)",
-        text=text,
-        data=data,
-    )
+    return _fig6_plan().run()
 
 
 # ---------------------------------------------------------------------------
@@ -328,34 +411,117 @@ def fig7_configs() -> List[Tuple[str, ArchitectureConfig]]:
     return configs
 
 
+def _fig7_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    configs = fig7_configs()
+    grid: List[Tuple[str, List[Tuple[str, RunRequest]]]] = []
+    for program in program_names:
+        row = []
+        for label, config in configs:
+            row.append(
+                (
+                    label,
+                    RunRequest(
+                        config=config,
+                        program=program,
+                        instructions=instructions,
+                        warmup=warmup,
+                    ),
+                )
+            )
+        grid.append((program, row))
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        sections: List[str] = []
+        data: Dict[str, Dict[str, SimulationReport]] = {}
+        for program, row in grid:
+            chart_rows = []
+            for label, cell in row:
+                report = reports[cell]
+                chart_rows.append(
+                    (label, report.bep_misfetch, report.bep_mispredict)
+                )
+                data.setdefault(program, {})[label] = report
+            sections.append(bep_chart(chart_rows, title=program))
+        return ExperimentResult(
+            name="fig7",
+            title="Figure 7: per-program BEP, NLS-table vs BTB",
+            text="\n\n".join(sections),
+            data=data,
+        )
+
+    cells = tuple(cell for _, row in grid for _, cell in row)
+    return ExperimentPlan(name="fig7", cells=cells, finish=finish)
+
+
 def fig7(
     programs: Optional[Sequence[str]] = None,
     instructions: Optional[int] = None,
     warmup: float = DEFAULT_WARMUP,
 ) -> ExperimentResult:
     """Per-program BEP for the ten configurations of Figure 7."""
-    programs = _programs(programs)
-    configs = fig7_configs()
-    sections: List[str] = []
-    data: Dict[str, Dict[str, SimulationReport]] = {}
-    for program in programs:
-        chart_rows = []
-        for label, config in configs:
-            report = _run(config, program, instructions, warmup)
-            chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
-            data.setdefault(program, {})[label] = report
-        sections.append(bep_chart(chart_rows, title=program))
-    return ExperimentResult(
-        name="fig7",
-        title="Figure 7: per-program BEP, NLS-table vs BTB",
-        text="\n\n".join(sections),
-        data=data,
-    )
+    return _fig7_plan(
+        programs=programs, instructions=instructions, warmup=warmup
+    ).run()
 
 
 # ---------------------------------------------------------------------------
 # Figure 8 — CPI comparison
 # ---------------------------------------------------------------------------
+
+
+def _fig8_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_grid: Sequence[Tuple[int, int]] = CACHE_GRID,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    variants: List[Tuple[str, ArchitectureConfig]] = [
+        ("128 Direct BTB", ArchitectureConfig(frontend="btb", entries=128, btb_assoc=1)),
+        ("128 4-way BTB", ArchitectureConfig(frontend="btb", entries=128, btb_assoc=4)),
+        ("256 Direct BTB", ArchitectureConfig(frontend="btb", entries=256, btb_assoc=1)),
+        ("256 4-way BTB", ArchitectureConfig(frontend="btb", entries=256, btb_assoc=4)),
+        (
+            "1024 NLS-table",
+            ArchitectureConfig(frontend="nls-table", entries=1024),
+        ),
+    ]
+    groups: List[Tuple[str, str, str, Tuple[RunRequest, ...]]] = []
+    for kb, assoc in cache_grid:
+        cache_label = f"{kb}K {'direct' if assoc == 1 else f'{assoc}-way'}"
+        for name, base in variants:
+            config = base.with_cache(kb, assoc)
+            groups.append(
+                (
+                    cache_label,
+                    name,
+                    f"{name} @ {cache_label}",
+                    _cells(config, program_names, instructions, warmup),
+                )
+            )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        rows = []
+        data: Dict[str, Dict[str, float]] = {}
+        for cache_label, name, label, cells in groups:
+            report = _mean(reports, cells, label)
+            rows.append((cache_label, name, f"{report.cpi:.4f}"))
+            data.setdefault(cache_label, {})[name] = report.cpi
+        text = format_table(["cache", "front-end", "CPI"], rows)
+        return ExperimentResult(
+            name="fig8",
+            title="Figure 8: cycles per instruction (single issue)",
+            text=text,
+            data=data,
+        )
+
+    cells = tuple(cell for _, _, _, group in groups for cell in group)
+    return ExperimentPlan(name="fig8", cells=cells, finish=finish)
 
 
 def fig8(
@@ -367,35 +533,12 @@ def fig8(
     """Average CPI of the BTBs and the 1024-entry NLS-table, per cache
     configuration (unlike the BEP, the CPI of every architecture moves
     with the cache because of the 5-cycle miss penalty)."""
-    programs = _programs(programs)
-    variants: List[Tuple[str, ArchitectureConfig]] = [
-        ("128 Direct BTB", ArchitectureConfig(frontend="btb", entries=128, btb_assoc=1)),
-        ("128 4-way BTB", ArchitectureConfig(frontend="btb", entries=128, btb_assoc=4)),
-        ("256 Direct BTB", ArchitectureConfig(frontend="btb", entries=256, btb_assoc=1)),
-        ("256 4-way BTB", ArchitectureConfig(frontend="btb", entries=256, btb_assoc=4)),
-        (
-            "1024 NLS-table",
-            ArchitectureConfig(frontend="nls-table", entries=1024),
-        ),
-    ]
-    rows = []
-    data: Dict[str, Dict[str, float]] = {}
-    for kb, assoc in cache_grid:
-        cache_label = f"{kb}K {'direct' if assoc == 1 else f'{assoc}-way'}"
-        for name, base in variants:
-            config = base.with_cache(kb, assoc)
-            report = _average(
-                config, programs, instructions, warmup, f"{name} @ {cache_label}"
-            )
-            rows.append((cache_label, name, f"{report.cpi:.4f}"))
-            data.setdefault(cache_label, {})[name] = report.cpi
-    text = format_table(["cache", "front-end", "CPI"], rows)
-    return ExperimentResult(
-        name="fig8",
-        title="Figure 8: cycles per instruction (single issue)",
-        text=text,
-        data=data,
-    )
+    return _fig8_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        cache_grid=cache_grid,
+    ).run()
 
 
 # ---------------------------------------------------------------------------
@@ -403,15 +546,14 @@ def fig8(
 # ---------------------------------------------------------------------------
 
 
-def johnson_comparison(
+def _johnson_plan(
     programs: Optional[Sequence[str]] = None,
     instructions: Optional[int] = None,
     warmup: float = DEFAULT_WARMUP,
     cache_kb: int = 16,
     cache_assoc: int = 1,
-) -> ExperimentResult:
-    """NLS-table vs NLS-cache vs Johnson's coupled 1-bit design."""
-    programs = _programs(programs)
+) -> ExperimentPlan:
+    program_names = _programs(programs)
     variants = [
         (
             "1024 NLS-table + gshare",
@@ -435,26 +577,93 @@ def johnson_comparison(
             ),
         ),
     ]
-    chart_rows = []
-    data: Dict[str, float] = {}
-    for label, config in variants:
-        report = _average(config, programs, instructions, warmup, label)
-        chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
-        data[label] = report.bep
-    return ExperimentResult(
-        name="johnson",
-        title=(
-            "S6.2 comparison: decoupled NLS vs Johnson's coupled "
-            f"successor-index design ({cache_kb}K {cache_assoc}-way cache)"
-        ),
-        text=bep_chart(chart_rows),
-        data=data,
-    )
+    groups = [
+        (label, _cells(config, program_names, instructions, warmup))
+        for label, config in variants
+    ]
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        chart_rows = []
+        data: Dict[str, float] = {}
+        for label, cells in groups:
+            report = _mean(reports, cells, label)
+            chart_rows.append(
+                (label, report.bep_misfetch, report.bep_mispredict)
+            )
+            data[label] = report.bep
+        return ExperimentResult(
+            name="johnson",
+            title=(
+                "S6.2 comparison: decoupled NLS vs Johnson's coupled "
+                f"successor-index design ({cache_kb}K {cache_assoc}-way cache)"
+            ),
+            text=bep_chart(chart_rows),
+            data=data,
+        )
+
+    cells = tuple(cell for _, group in groups for cell in group)
+    return ExperimentPlan(name="johnson", cells=cells, finish=finish)
+
+
+def johnson_comparison(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+    cache_assoc: int = 1,
+) -> ExperimentResult:
+    """NLS-table vs NLS-cache vs Johnson's coupled 1-bit design."""
+    return _johnson_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        cache_kb=cache_kb,
+        cache_assoc=cache_assoc,
+    ).run()
 
 
 # ---------------------------------------------------------------------------
 # §4.1 / §7 ablations
 # ---------------------------------------------------------------------------
+
+
+def _ablation_nls_cache_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups = []
+    for per_line in (1, 2, 4):
+        for policy in ("partition", "lru"):
+            label = f"NLS-cache {per_line}/line {policy}"
+            config = ArchitectureConfig(
+                frontend="nls-cache",
+                cache_kb=cache_kb,
+                predictors_per_line=per_line,
+                nls_cache_policy=policy,
+            )
+            groups.append(
+                (label, _cells(config, program_names, instructions, warmup))
+            )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        chart_rows = []
+        data: Dict[str, float] = {}
+        for label, cells in groups:
+            report = _mean(reports, cells, label)
+            chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
+            data[label] = report.bep
+        return ExperimentResult(
+            name="ablation-nls-cache",
+            title=f"NLS-cache ablation ({cache_kb}K direct-mapped cache)",
+            text=bep_chart(chart_rows),
+            data=data,
+        )
+
+    cells = tuple(cell for _, group in groups for cell in group)
+    return ExperimentPlan(name="ablation-nls-cache", cells=cells, finish=finish)
 
 
 def ablation_nls_cache(
@@ -466,38 +675,21 @@ def ablation_nls_cache(
     """NLS-cache design space: predictors per line x association
     policy (§5.1 "one to four NLS predictors per cache line with
     varying replacement policies")."""
-    programs = _programs(programs)
-    chart_rows = []
-    data: Dict[str, float] = {}
-    for per_line in (1, 2, 4):
-        for policy in ("partition", "lru"):
-            label = f"NLS-cache {per_line}/line {policy}"
-            config = ArchitectureConfig(
-                frontend="nls-cache",
-                cache_kb=cache_kb,
-                predictors_per_line=per_line,
-                nls_cache_policy=policy,
-            )
-            report = _average(config, programs, instructions, warmup, label)
-            chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
-            data[label] = report.bep
-    return ExperimentResult(
-        name="ablation-nls-cache",
-        title=f"NLS-cache ablation ({cache_kb}K direct-mapped cache)",
-        text=bep_chart(chart_rows),
-        data=data,
-    )
+    return _ablation_nls_cache_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        cache_kb=cache_kb,
+    ).run()
 
 
-def ablation_direction(
+def _ablation_direction_plan(
     programs: Optional[Sequence[str]] = None,
     instructions: Optional[int] = None,
     warmup: float = DEFAULT_WARMUP,
-) -> ExperimentResult:
-    """Direction-predictor ablation under the 1024-entry NLS-table."""
-    programs = _programs(programs)
-    chart_rows = []
-    data: Dict[str, float] = {}
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups = []
     for direction in (
         "gshare",
         "pan",
@@ -512,28 +704,49 @@ def ablation_direction(
         config = ArchitectureConfig(
             frontend="nls-table", entries=1024, cache_kb=16, direction=direction
         )
-        report = _average(config, programs, instructions, warmup, direction)
-        chart_rows.append((direction, report.bep_misfetch, report.bep_mispredict))
-        data[direction] = report.bep
-    return ExperimentResult(
-        name="ablation-direction",
-        title="Direction predictor ablation (1024 NLS-table, 16K cache)",
-        text=bep_chart(chart_rows),
-        data=data,
-    )
+        groups.append(
+            (direction, _cells(config, program_names, instructions, warmup))
+        )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        chart_rows = []
+        data: Dict[str, float] = {}
+        for direction, cells in groups:
+            report = _mean(reports, cells, direction)
+            chart_rows.append(
+                (direction, report.bep_misfetch, report.bep_mispredict)
+            )
+            data[direction] = report.bep
+        return ExperimentResult(
+            name="ablation-direction",
+            title="Direction predictor ablation (1024 NLS-table, 16K cache)",
+            text=bep_chart(chart_rows),
+            data=data,
+        )
+
+    cells = tuple(cell for _, group in groups for cell in group)
+    return ExperimentPlan(name="ablation-direction", cells=cells, finish=finish)
 
 
-def ablation_layout(
+def ablation_direction(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Direction-predictor ablation under the 1024-entry NLS-table."""
+    return _ablation_direction_plan(
+        programs=programs, instructions=instructions, warmup=warmup
+    ).run()
+
+
+def _ablation_layout_plan(
     programs: Optional[Sequence[str]] = None,
     instructions: Optional[int] = None,
     warmup: float = DEFAULT_WARMUP,
     cache_kb: int = 16,
-) -> ExperimentResult:
-    """Program-layout ablation (§7: restructuring lowers the I-cache
-    miss rate, which improves the NLS architecture but not the BTB)."""
-    programs = _programs(programs)
-    rows = []
-    data: Dict[str, Dict[str, float]] = {}
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups = []
     for layout in ("natural", "random"):
         for name, config in (
             (
@@ -542,17 +755,19 @@ def ablation_layout(
             ),
             ("128 BTB", ArchitectureConfig(frontend="btb", entries=128, cache_kb=cache_kb)),
         ):
-            reports = [
-                simulate(
-                    config,
-                    program,
-                    instructions=instructions,
-                    warmup_fraction=warmup,
-                    layout=layout,
+            groups.append(
+                (
+                    layout,
+                    name,
+                    _cells(config, program_names, instructions, warmup, layout=layout),
                 )
-                for program in programs
-            ]
-            average = average_reports(reports, label=f"{name} / {layout}")
+            )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        rows = []
+        data: Dict[str, Dict[str, float]] = {}
+        for layout, name, cells in groups:
+            average = _mean(reports, cells, f"{name} / {layout}")
             rows.append(
                 (
                     layout,
@@ -563,15 +778,72 @@ def ablation_layout(
                 )
             )
             data.setdefault(layout, {})[name] = average.bep
-    text = format_table(
-        ["layout", "front-end", "I-miss", "BEP(misfetch)", "BEP"], rows
-    )
-    return ExperimentResult(
-        name="ablation-layout",
-        title="Layout ablation: procedure placement vs NLS/BTB BEP",
-        text=text,
-        data=data,
-    )
+        text = format_table(
+            ["layout", "front-end", "I-miss", "BEP(misfetch)", "BEP"], rows
+        )
+        return ExperimentResult(
+            name="ablation-layout",
+            title="Layout ablation: procedure placement vs NLS/BTB BEP",
+            text=text,
+            data=data,
+        )
+
+    cells = tuple(cell for _, _, group in groups for cell in group)
+    return ExperimentPlan(name="ablation-layout", cells=cells, finish=finish)
+
+
+def ablation_layout(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+) -> ExperimentResult:
+    """Program-layout ablation (§7: restructuring lowers the I-cache
+    miss rate, which improves the NLS architecture but not the BTB)."""
+    return _ablation_layout_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        cache_kb=cache_kb,
+    ).run()
+
+
+def _coupled_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups = []
+    for entries in (128, 256):
+        for name, frontend in (
+            (f"decoupled {entries} BTB + gshare", "btb"),
+            (f"coupled {entries} BTB (2-bit in entry)", "coupled-btb"),
+        ):
+            config = ArchitectureConfig(
+                frontend=frontend, entries=entries, btb_assoc=1, cache_kb=cache_kb
+            )
+            groups.append(
+                (name, _cells(config, program_names, instructions, warmup))
+            )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        chart_rows = []
+        data: Dict[str, float] = {}
+        for name, cells in groups:
+            report = _mean(reports, cells, name)
+            chart_rows.append((name, report.bep_misfetch, report.bep_mispredict))
+            data[name] = report.bep
+        return ExperimentResult(
+            name="coupled",
+            title="S2 comparison: coupled vs decoupled BTB direction prediction",
+            text=bep_chart(chart_rows),
+            data=data,
+        )
+
+    cells = tuple(cell for _, group in groups for cell in group)
+    return ExperimentPlan(name="coupled", cells=cells, finish=finish)
 
 
 def coupled_vs_decoupled(
@@ -588,26 +860,75 @@ def coupled_vs_decoupled(
     PHT — the reason the paper (and its authors' earlier study [2])
     simulate decoupled designs.
     """
-    programs = _programs(programs)
-    chart_rows = []
-    data: Dict[str, float] = {}
-    for entries in (128, 256):
-        for name, frontend in (
-            (f"decoupled {entries} BTB + gshare", "btb"),
-            (f"coupled {entries} BTB (2-bit in entry)", "coupled-btb"),
-        ):
-            config = ArchitectureConfig(
-                frontend=frontend, entries=entries, btb_assoc=1, cache_kb=cache_kb
+    return _coupled_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        cache_kb=cache_kb,
+    ).run()
+
+
+def _way_prediction_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    cache_kb: int = 16,
+    cache_assoc: int = 2,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        from repro.cache.icache import InstructionCache
+        from repro.cache.setpred import FallThroughWayPredictor
+
+        rows = []
+        data: Dict[str, float] = {}
+        geometry = CacheGeometry(cache_kb * 1024, 32, cache_assoc)
+        for program in program_names:
+            trace = generate_trace(program, instructions=instructions)
+            cache = InstructionCache(geometry)
+            predictor = FallThroughWayPredictor(cache)
+            line_bytes = geometry.line_bytes
+            previous_line = None
+            for index in range(trace.n_events):
+                start = trace.starts[index]
+                end = start + (trace.counts[index] - 1) * 4
+                line = start & ~(line_bytes - 1)
+                end_line = end & ~(line_bytes - 1)
+                while True:
+                    if previous_line is not None and line == previous_line + line_bytes:
+                        predicted = predictor.predict(previous_line)
+                        way = cache.access(line).way
+                        predictor.record_outcome(predicted, way)
+                        predictor.update(previous_line, way)
+                    else:
+                        way = cache.access(line).way
+                    previous_line = line
+                    if line == end_line:
+                        break
+                    line += line_bytes
+            rows.append(
+                (
+                    program,
+                    predictor.predictions,
+                    f"{100 * predictor.accuracy:.2f}%",
+                    f"{100 * cache.miss_rate:.2f}%",
+                )
             )
-            report = _average(config, programs, instructions, warmup, name)
-            chart_rows.append((name, report.bep_misfetch, report.bep_mispredict))
-            data[name] = report.bep
-    return ExperimentResult(
-        name="coupled",
-        title="S2 comparison: coupled vs decoupled BTB direction prediction",
-        text=bep_chart(chart_rows),
-        data=data,
-    )
+            data[program] = predictor.accuracy
+        text = format_table(
+            ["program", "sequential fetches", "way-pred accuracy", "I-miss"], rows
+        )
+        return ExperimentResult(
+            name="way-prediction",
+            title=(
+                f"S4.2 fall-through way prediction ({cache_kb}K "
+                f"{cache_assoc}-way cache)"
+            ),
+            text=text,
+            data=data,
+        )
+
+    return ExperimentPlan(name="way-prediction", cells=(), finish=finish)
 
 
 def way_prediction(
@@ -623,57 +944,62 @@ def way_prediction(
     right — the figure of merit for turning an associative cache into
     a direct-mapped-latency one on the sequential path.
     """
-    from repro.cache.icache import InstructionCache
-    from repro.cache.setpred import FallThroughWayPredictor
-    from repro.cache.geometry import CacheGeometry
+    return _way_prediction_plan(
+        programs=programs,
+        instructions=instructions,
+        cache_kb=cache_kb,
+        cache_assoc=cache_assoc,
+    ).run()
 
-    programs = _programs(programs)
-    rows = []
-    data: Dict[str, float] = {}
-    geometry = CacheGeometry(cache_kb * 1024, 32, cache_assoc)
-    for program in programs:
-        trace = generate_trace(program, instructions=instructions)
-        cache = InstructionCache(geometry)
-        predictor = FallThroughWayPredictor(cache)
-        line_bytes = geometry.line_bytes
-        previous_line = None
-        for index in range(trace.n_events):
-            start = trace.starts[index]
-            end = start + (trace.counts[index] - 1) * 4
-            line = start & ~(line_bytes - 1)
-            end_line = end & ~(line_bytes - 1)
-            while True:
-                if previous_line is not None and line == previous_line + line_bytes:
-                    predicted = predictor.predict(previous_line)
-                    way = cache.access(line).way
-                    predictor.record_outcome(predicted, way)
-                    predictor.update(previous_line, way)
-                else:
-                    way = cache.access(line).way
-                previous_line = line
-                if line == end_line:
-                    break
-                line += line_bytes
-        rows.append(
-            (
-                program,
-                predictor.predictions,
-                f"{100 * predictor.accuracy:.2f}%",
-                f"{100 * cache.miss_rate:.2f}%",
-            )
-        )
-        data[program] = predictor.accuracy
-    text = format_table(
-        ["program", "sequential fetches", "way-pred accuracy", "I-miss"], rows
+
+def _multi_issue_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    widths: Sequence[int] = (1, 2, 4, 8),
+    cache_kb: int = 16,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    variants = (
+        ("1024 NLS-table", ArchitectureConfig(frontend="nls-table", entries=1024, cache_kb=cache_kb)),
+        ("128 BTB", ArchitectureConfig(frontend="btb", entries=128, cache_kb=cache_kb)),
+        ("oracle fetch", ArchitectureConfig(frontend="oracle", cache_kb=cache_kb)),
     )
-    return ExperimentResult(
-        name="way-prediction",
-        title=(
-            f"S4.2 fall-through way prediction ({cache_kb}K "
-            f"{cache_assoc}-way cache)"
-        ),
-        text=text,
-        data=data,
+    # multi-issue evaluation needs full-trace reports (warmup 0)
+    grid = {
+        (name, program): RunRequest(
+            config=config, program=program, instructions=instructions, warmup=0.0
+        )
+        for name, config in variants
+        for program in program_names
+    }
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        from repro.fetch.multiissue import FetchBandwidthModel
+
+        rows = []
+        data: Dict[str, Dict[int, float]] = {}
+        for name, config in variants:
+            per_width: Dict[int, List[float]] = {width: [] for width in widths}
+            for program in program_names:
+                trace = generate_trace(program, instructions=instructions)
+                report = reports[grid[(name, program)]]
+                for width in widths:
+                    model = FetchBandwidthModel(width, config.geometry.line_bytes)
+                    per_width[width].append(model.evaluate(trace, report).ipc)
+            for width in widths:
+                ipc = sum(per_width[width]) / len(per_width[width])
+                rows.append((name, width, f"{ipc:.3f}"))
+                data.setdefault(name, {})[width] = ipc
+        text = format_table(["front-end", "fetch width", "IPC"], rows)
+        return ExperimentResult(
+            name="multi-issue",
+            title="S8 extension: IPC vs fetch width (single-cycle line-limited fetch)",
+            text=text,
+            data=data,
+        )
+
+    return ExperimentPlan(
+        name="multi-issue", cells=tuple(grid.values()), finish=finish
     )
 
 
@@ -691,36 +1017,47 @@ def multi_issue(
     "nothing in the design of the NLS architecture appears to be a
     problem for wide-issue architectures" (§8) becomes checkable.
     """
-    from repro.fetch.multiissue import FetchBandwidthModel
+    return _multi_issue_plan(
+        programs=programs,
+        instructions=instructions,
+        widths=widths,
+        cache_kb=cache_kb,
+    ).run()
 
-    programs = _programs(programs)
-    variants = (
-        ("1024 NLS-table", ArchitectureConfig(frontend="nls-table", entries=1024, cache_kb=cache_kb)),
-        ("128 BTB", ArchitectureConfig(frontend="btb", entries=128, cache_kb=cache_kb)),
-        ("oracle fetch", ArchitectureConfig(frontend="oracle", cache_kb=cache_kb)),
-    )
-    rows = []
-    data: Dict[str, Dict[int, float]] = {}
-    for name, config in variants:
-        per_width: Dict[int, List[float]] = {width: [] for width in widths}
-        for program in programs:
-            trace = generate_trace(program, instructions=instructions)
-            # multi-issue evaluation needs full-trace reports
-            report = config.build().run(trace, warmup_fraction=0.0)
-            for width in widths:
-                model = FetchBandwidthModel(width, config.geometry.line_bytes)
-                per_width[width].append(model.evaluate(trace, report).ipc)
-        for width in widths:
-            ipc = sum(per_width[width]) / len(per_width[width])
-            rows.append((name, width, f"{ipc:.3f}"))
-            data.setdefault(name, {})[width] = ipc
-    text = format_table(["front-end", "fetch width", "IPC"], rows)
-    return ExperimentResult(
-        name="multi-issue",
-        title="S8 extension: IPC vs fetch width (single-cycle line-limited fetch)",
-        text=text,
-        data=data,
-    )
+
+def _address_space_plan(
+    bits_list: Sequence[int] = (32, 40, 48, 64),
+    cache_kb: int = 16,
+) -> ExperimentPlan:
+    def finish(reports: ReportMap) -> ExperimentResult:
+        from repro.isa.geometry import AddressSpace
+
+        model = RBEModel()
+        geometry = CacheGeometry(cache_kb * 1024, 32, 1)
+        nls_cost = model.nls_table_cost(1024, geometry).rbe
+        rows = []
+        data: Dict[str, Dict[int, float]] = {
+            "btb-128": {},
+            "btb-256": {},
+            "nls-1024": {},
+        }
+        for bits in bits_list:
+            space = AddressSpace(bits)
+            for entries in (128, 256):
+                cost = model.btb_cost(entries, 1, space).rbe
+                rows.append((f"{bits}-bit", f"{entries}-entry BTB", f"{cost:,.0f}"))
+                data[f"btb-{entries}"][bits] = cost
+            rows.append((f"{bits}-bit", "1024-entry NLS-table", f"{nls_cost:,.0f}"))
+            data["nls-1024"][bits] = nls_cost
+        text = format_table(["address space", "structure", "RBE"], rows)
+        return ExperimentResult(
+            name="address-space",
+            title="S7: structure cost vs program address-space size",
+            text=text,
+            data=data,
+        )
+
+    return ExperimentPlan(name="address-space", cells=(), finish=finish)
 
 
 def address_space_scaling(
@@ -732,28 +1069,68 @@ def address_space_scaling(
     comparison, the NLS-table design does not use a tag nor does it
     store the full target address, so an increased address space has
     no effect on the size of the NLS-table"."""
-    from repro.isa.geometry import AddressSpace
+    return _address_space_plan(bits_list=bits_list, cache_kb=cache_kb).run()
 
-    model = RBEModel()
-    geometry = CacheGeometry(cache_kb * 1024, 32, 1)
-    nls_cost = model.nls_table_cost(1024, geometry).rbe
-    rows = []
-    data: Dict[str, Dict[int, float]] = {"btb-128": {}, "btb-256": {}, "nls-1024": {}}
-    for bits in bits_list:
-        space = AddressSpace(bits)
-        for entries in (128, 256):
-            cost = model.btb_cost(entries, 1, space).rbe
-            rows.append((f"{bits}-bit", f"{entries}-entry BTB", f"{cost:,.0f}"))
-            data[f"btb-{entries}"][bits] = cost
-        rows.append((f"{bits}-bit", "1024-entry NLS-table", f"{nls_cost:,.0f}"))
-        data["nls-1024"][bits] = nls_cost
-    text = format_table(["address space", "structure", "RBE"], rows)
-    return ExperimentResult(
-        name="address-space",
-        title="S7: structure cost vs program address-space size",
-        text=text,
-        data=data,
-    )
+
+def _steely_sager_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_kb: int = 16,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    grid: List[Tuple[str, str, RunRequest]] = []
+    for program in program_names:
+        for name, frontend in (
+            ("nls-table", "nls-table"),
+            ("steely-sager", "steely-sager"),
+        ):
+            config = ArchitectureConfig(
+                frontend=frontend, entries=1024, cache_kb=cache_kb, cache_assoc=1
+            )
+            grid.append(
+                (
+                    program,
+                    name,
+                    RunRequest(
+                        config=config,
+                        program=program,
+                        instructions=instructions,
+                        warmup=warmup,
+                    ),
+                )
+            )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        rows = []
+        data: Dict[str, Dict[str, float]] = {}
+        for program, name, cell in grid:
+            report = reports[cell]
+            indirect = report.by_kind and {
+                kind.name: counts for kind, counts in report.by_kind.items()
+            }.get("INDIRECT")
+            indirect_mp = (
+                100.0 * indirect[2] / indirect[0] if indirect and indirect[0] else 0.0
+            )
+            rows.append(
+                (program, name, f"{indirect_mp:.1f}%", f"{report.bep:.3f}")
+            )
+            data.setdefault(program, {})[name] = report.bep
+        text = format_table(
+            ["program", "indirect predictor", "IJ mispredict", "BEP"], rows
+        )
+        return ExperimentResult(
+            name="steely-sager",
+            title=(
+                "S6.2: per-entry NLS indirect prediction vs the Steely-Sager "
+                "computed-goto register"
+            ),
+            text=text,
+            data=data,
+        )
+
+    cells = tuple(cell for _, _, cell in grid)
+    return ExperimentPlan(name="steely-sager", cells=cells, finish=finish)
 
 
 def steely_sager_comparison(
@@ -768,40 +1145,74 @@ def steely_sager_comparison(
     Programs with several interleaved hot indirect sites thrash the
     single register; programs with one dominant site barely notice.
     """
-    programs = _programs(programs)
-    rows = []
-    data: Dict[str, Dict[str, float]] = {}
-    for program in programs:
-        for name, frontend in (
-            ("nls-table", "nls-table"),
-            ("steely-sager", "steely-sager"),
-        ):
-            config = ArchitectureConfig(
-                frontend=frontend, entries=1024, cache_kb=cache_kb, cache_assoc=1
+    return _steely_sager_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        cache_kb=cache_kb,
+    ).run()
+
+
+def _calibration_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        from repro.workloads.validation import summarise
+
+        measured = {}
+        papers = {}
+        for name in program_names:
+            profile = get_profile(name)
+            trace = generate_trace(name, instructions=instructions)
+            measured[name] = measure(trace, build_program(profile))
+            papers[name] = profile.paper
+        summary = summarise(measured, papers)
+        rows = []
+        for program, comparisons in summary.per_program.items():
+            for comparison in comparisons:
+                rows.append(
+                    (
+                        program,
+                        comparison.field,
+                        f"{comparison.measured:.2f}",
+                        f"{comparison.paper:.2f}",
+                        f"{comparison.absolute_error:+.2f}",
+                    )
+                )
+        lines = [format_table(["program", "column", "measured", "paper", "error"], rows)]
+        if summary.rank_correlations:
+            rank_rows = [
+                (field, f"{value:+.2f}")
+                for field, value in sorted(summary.rank_correlations.items())
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["attribute", "rank corr (programs)"],
+                    rank_rows,
+                    title="cross-program rank agreement with Table 1",
+                )
             )
-            report = _run(config, program, instructions, warmup)
-            indirect = report.by_kind and {
-                kind.name: counts for kind, counts in report.by_kind.items()
-            }.get("INDIRECT")
-            indirect_mp = (
-                100.0 * indirect[2] / indirect[0] if indirect and indirect[0] else 0.0
+            lines.append("")
+            worst = summary.worst_field
+            lines.append(
+                f"mean |error| = {summary.mean_absolute_scalar_error:.2f} points; "
+                f"worst: {worst[1]} on {worst[0]} ({worst[2]:+.2f})"
             )
-            rows.append(
-                (program, name, f"{indirect_mp:.1f}%", f"{report.bep:.3f}")
-            )
-            data.setdefault(program, {})[name] = report.bep
-    text = format_table(
-        ["program", "indirect predictor", "IJ mispredict", "BEP"], rows
-    )
-    return ExperimentResult(
-        name="steely-sager",
-        title=(
-            "S6.2: per-entry NLS indirect prediction vs the Steely-Sager "
-            "computed-goto register"
-        ),
-        text=text,
-        data=data,
-    )
+        return ExperimentResult(
+            name="calibration",
+            title="Workload calibration: measured vs paper Table 1",
+            text="\n".join(lines),
+            data={
+                "mean_abs_error": summary.mean_absolute_scalar_error,
+                "rank_correlations": summary.rank_correlations,
+            },
+        )
+
+    return ExperimentPlan(name="calibration", cells=(), finish=finish)
 
 
 def calibration(
@@ -811,58 +1222,54 @@ def calibration(
     """Measured-vs-paper calibration quality of the synthetic
     workloads (value errors per column, rank agreement per attribute).
     """
-    from repro.workloads.validation import summarise
+    return _calibration_plan(programs=programs, instructions=instructions).run()
 
-    programs = _programs(programs)
-    measured = {}
-    papers = {}
-    for name in programs:
-        profile = get_profile(name)
-        trace = generate_trace(name, instructions=instructions)
-        measured[name] = measure(trace, build_program(profile))
-        papers[name] = profile.paper
-    summary = summarise(measured, papers)
-    rows = []
-    for program, comparisons in summary.per_program.items():
-        for comparison in comparisons:
+
+def _misfetch_causes_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    cache_sizes: Sequence[int] = (8, 16, 32),
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups: List[Tuple[int, Tuple[RunRequest, ...]]] = []
+    for kb in cache_sizes:
+        config = ArchitectureConfig(
+            frontend="nls-table", entries=1024, cache_kb=kb, cache_assoc=1
+        )
+        groups.append((kb, _cells(config, program_names, instructions, warmup)))
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        rows = []
+        data: Dict[str, Dict[str, int]] = {}
+        for kb, cells in groups:
+            totals = {"invalid": 0, "line-field": 0, "displaced": 0, "wrong-way": 0}
+            for cell in cells:
+                for cause, count in reports[cell].frontend_stats.items():
+                    totals[cause] += count
+            total = sum(totals.values()) or 1
             rows.append(
                 (
-                    program,
-                    comparison.field,
-                    f"{comparison.measured:.2f}",
-                    f"{comparison.paper:.2f}",
-                    f"{comparison.absolute_error:+.2f}",
+                    f"{kb}K",
+                    totals["invalid"],
+                    totals["line-field"],
+                    totals["displaced"],
+                    f"{100 * totals['displaced'] / total:.1f}%",
                 )
             )
-    lines = [format_table(["program", "column", "measured", "paper", "error"], rows)]
-    if summary.rank_correlations:
-        rank_rows = [
-            (field, f"{value:+.2f}")
-            for field, value in sorted(summary.rank_correlations.items())
-        ]
-        lines.append("")
-        lines.append(
-            format_table(
-                ["attribute", "rank corr (programs)"],
-                rank_rows,
-                title="cross-program rank agreement with Table 1",
-            )
+            data[f"{kb}K"] = dict(totals)
+        text = format_table(
+            ["cache", "invalid", "alias/stale", "displaced", "displaced share"], rows
         )
-        lines.append("")
-        worst = summary.worst_field
-        lines.append(
-            f"mean |error| = {summary.mean_absolute_scalar_error:.2f} points; "
-            f"worst: {worst[1]} on {worst[0]} ({worst[2]:+.2f})"
+        return ExperimentResult(
+            name="misfetch-causes",
+            title="NLS misfetch causes vs cache size (1024-entry table, direct mapped)",
+            text=text,
+            data=data,
         )
-    return ExperimentResult(
-        name="calibration",
-        title="Workload calibration: measured vs paper Table 1",
-        text="\n".join(lines),
-        data={
-            "mean_abs_error": summary.mean_absolute_scalar_error,
-            "rank_correlations": summary.rank_correlations,
-        },
-    )
+
+    cells = tuple(cell for _, group in groups for cell in group)
+    return ExperimentPlan(name="misfetch-causes", cells=cells, finish=finish)
 
 
 def misfetch_causes(
@@ -877,40 +1284,47 @@ def misfetch_causes(
     bucket shrinks as the cache grows while the tag-less aliasing
     buckets stay put; this experiment shows the distribution directly.
     """
-    programs = _programs(programs)
-    rows = []
-    data: Dict[str, Dict[str, int]] = {}
-    for kb in cache_sizes:
-        totals = {"invalid": 0, "line-field": 0, "displaced": 0, "wrong-way": 0}
-        for program in programs:
-            trace = generate_trace(program, instructions=instructions)
+    return _misfetch_causes_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        cache_sizes=cache_sizes,
+    ).run()
+
+
+def _btb_allocation_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups = []
+    for entries in (128, 256):
+        for allocate in ("taken-only", "all"):
             config = ArchitectureConfig(
-                frontend="nls-table", entries=1024, cache_kb=kb, cache_assoc=1
+                frontend="btb", entries=entries, btb_allocate=allocate, cache_kb=16
             )
-            engine = config.build()
-            engine.run(trace, warmup_fraction=warmup)
-            for cause, count in engine.frontend.mismatch_causes.items():
-                totals[cause] += count
-        total = sum(totals.values()) or 1
-        rows.append(
-            (
-                f"{kb}K",
-                totals["invalid"],
-                totals["line-field"],
-                totals["displaced"],
-                f"{100 * totals['displaced'] / total:.1f}%",
+            label = f"{entries} BTB, allocate {allocate}"
+            groups.append(
+                (label, _cells(config, program_names, instructions, warmup))
             )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        chart_rows = []
+        data: Dict[str, float] = {}
+        for label, cells in groups:
+            report = _mean(reports, cells, label)
+            chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
+            data[label] = report.bep
+        return ExperimentResult(
+            name="btb-allocation",
+            title="S3: BTB allocation policy (taken-only vs all branches)",
+            text=bep_chart(chart_rows),
+            data=data,
         )
-        data[f"{kb}K"] = dict(totals)
-    text = format_table(
-        ["cache", "invalid", "alias/stale", "displaced", "displaced share"], rows
-    )
-    return ExperimentResult(
-        name="misfetch-causes",
-        title="NLS misfetch causes vs cache size (1024-entry table, direct mapped)",
-        text=text,
-        data=data,
-    )
+
+    cells = tuple(cell for _, group in groups for cell in group)
+    return ExperimentPlan(name="btb-allocation", cells=cells, finish=finish)
 
 
 def btb_allocation(
@@ -919,24 +1333,50 @@ def btb_allocation(
     warmup: float = DEFAULT_WARMUP,
 ) -> ExperimentResult:
     """Taken-only vs allocate-all BTB policies (§3's cited result)."""
-    programs = _programs(programs)
-    chart_rows = []
-    data: Dict[str, float] = {}
-    for entries in (128, 256):
-        for allocate in ("taken-only", "all"):
-            config = ArchitectureConfig(
-                frontend="btb", entries=entries, btb_allocate=allocate, cache_kb=16
-            )
-            label = f"{entries} BTB, allocate {allocate}"
-            report = _average(config, programs, instructions, warmup, label)
-            chart_rows.append((label, report.bep_misfetch, report.bep_mispredict))
-            data[label] = report.bep
-    return ExperimentResult(
-        name="btb-allocation",
-        title="S3: BTB allocation policy (taken-only vs all branches)",
-        text=bep_chart(chart_rows),
-        data=data,
-    )
+    return _btb_allocation_plan(
+        programs=programs, instructions=instructions, warmup=warmup
+    ).run()
+
+
+def _ras_depth_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    depths: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups: List[Tuple[int, Tuple[RunRequest, ...]]] = []
+    for depth in depths:
+        config = ArchitectureConfig(
+            frontend="nls-table", entries=1024, cache_kb=16, ras_entries=depth
+        )
+        groups.append((depth, _cells(config, program_names, instructions, warmup)))
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        from repro.isa.branches import BranchKind
+
+        rows = []
+        data: Dict[int, float] = {}
+        for depth, cells in groups:
+            mispredicted = 0
+            executed = 0
+            for cell in cells:
+                ex, mf, mp = reports[cell].by_kind[BranchKind.RETURN]
+                executed += ex
+                mispredicted += mp
+            rate = 100.0 * mispredicted / executed if executed else 0.0
+            rows.append((depth, executed, f"{rate:.2f}%"))
+            data[depth] = rate
+        text = format_table(["RAS entries", "returns", "return mispredict"], rows)
+        return ExperimentResult(
+            name="ras-depth",
+            title="Return-address-stack depth sweep (1024 NLS-table, 16K cache)",
+            text=text,
+            data=data,
+        )
+
+    cells = tuple(cell for _, group in groups for cell in group)
+    return ExperimentPlan(name="ras-depth", cells=cells, finish=finish)
 
 
 def ras_depth(
@@ -947,32 +1387,56 @@ def ras_depth(
 ) -> ExperimentResult:
     """Return-stack depth sweep (the Kaeli-Emma structure both
     architectures rely on, §3)."""
-    from repro.isa.branches import BranchKind
+    return _ras_depth_plan(
+        programs=programs, instructions=instructions, warmup=warmup, depths=depths
+    ).run()
 
-    programs = _programs(programs)
-    rows = []
-    data: Dict[int, float] = {}
-    for depth in depths:
-        mispredicted = 0
-        executed = 0
-        for program in programs:
-            config = ArchitectureConfig(
-                frontend="nls-table", entries=1024, cache_kb=16, ras_entries=depth
+
+def _line_size_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+    line_sizes: Sequence[int] = (16, 32, 64),
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups: List[Tuple[int, ArchitectureConfig, Tuple[RunRequest, ...]]] = []
+    for line_bytes in line_sizes:
+        config = ArchitectureConfig(
+            frontend="nls-table", entries=1024, cache_kb=16, line_bytes=line_bytes
+        )
+        groups.append(
+            (line_bytes, config, _cells(config, program_names, instructions, warmup))
+        )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        rows = []
+        data: Dict[int, Dict[str, float]] = {}
+        model = RBEModel()
+        for line_bytes, config, cells in groups:
+            report = _mean(reports, cells, f"{line_bytes}B lines")
+            entry_bits = model.nls_entry_bits(config.geometry)
+            rows.append(
+                (
+                    f"{line_bytes}B",
+                    entry_bits,
+                    f"{100 * report.icache_miss_rate:.2f}%",
+                    f"{report.bep_misfetch:.3f}",
+                    f"{report.bep:.3f}",
+                )
             )
-            report = _run(config, program, instructions, warmup)
-            ex, mf, mp = report.by_kind[BranchKind.RETURN]
-            executed += ex
-            mispredicted += mp
-        rate = 100.0 * mispredicted / executed if executed else 0.0
-        rows.append((depth, executed, f"{rate:.2f}%"))
-        data[depth] = rate
-    text = format_table(["RAS entries", "returns", "return mispredict"], rows)
-    return ExperimentResult(
-        name="ras-depth",
-        title="Return-address-stack depth sweep (1024 NLS-table, 16K cache)",
-        text=text,
-        data=data,
-    )
+            data[line_bytes] = {"bep": report.bep, "entry_bits": entry_bits}
+        text = format_table(
+            ["line size", "NLS entry bits", "I-miss", "BEP(misfetch)", "BEP"], rows
+        )
+        return ExperimentResult(
+            name="line-size",
+            title="Line-size sweep (1024 NLS-table, 16K direct cache)",
+            text=text,
+            data=data,
+        )
+
+    cells = tuple(cell for _, _, group in groups for cell in group)
+    return ExperimentPlan(name="line-size", cells=cells, finish=finish)
 
 
 def line_size(
@@ -984,37 +1448,59 @@ def line_size(
     """Cache line-size sweep: longer lines shrink the NLS line field
     (fewer sets) but raise per-miss cost and change the fall-through
     packing; the paper fixes 32-byte lines (§5.1)."""
-    programs = _programs(programs)
-    rows = []
-    data: Dict[int, Dict[str, float]] = {}
-    model = RBEModel()
-    for line_bytes in line_sizes:
-        config = ArchitectureConfig(
-            frontend="nls-table", entries=1024, cache_kb=16, line_bytes=line_bytes
-        )
-        report = _average(
-            config, programs, instructions, warmup, f"{line_bytes}B lines"
-        )
-        entry_bits = model.nls_entry_bits(config.geometry)
-        rows.append(
-            (
-                f"{line_bytes}B",
-                entry_bits,
-                f"{100 * report.icache_miss_rate:.2f}%",
-                f"{report.bep_misfetch:.3f}",
-                f"{report.bep:.3f}",
+    return _line_size_plan(
+        programs=programs,
+        instructions=instructions,
+        warmup=warmup,
+        line_sizes=line_sizes,
+    ).run()
+
+
+def _context_switch_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    intervals: Sequence[Optional[int]] = (None, 500_000, 100_000, 25_000),
+) -> ExperimentPlan:
+    program_names = _programs(programs)
+    groups: List[Tuple[str, str, Tuple[RunRequest, ...]]] = []
+    for interval in intervals:
+        label = "never" if interval is None else f"every {interval:,}"
+        for name, frontend, kwargs in (
+            ("1024 NLS-table", "nls-table", {"entries": 1024}),
+            ("128 BTB", "btb", {"entries": 128}),
+        ):
+            config = ArchitectureConfig(
+                frontend=frontend, cache_kb=16, flush_interval=interval, **kwargs
             )
+            # cold restarts are the effect being measured: no warmup
+            groups.append(
+                (label, name, _cells(config, program_names, instructions, 0.0))
+            )
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        rows = []
+        data: Dict[str, Dict[str, float]] = {}
+        for label, name, cells in groups:
+            report = _mean(reports, cells, name)
+            rows.append(
+                (
+                    label,
+                    name,
+                    f"{100 * report.icache_miss_rate:.2f}%",
+                    f"{report.bep:.3f}",
+                )
+            )
+            data.setdefault(label, {})[name] = report.bep
+        text = format_table(["flush interval", "front-end", "I-miss", "BEP"], rows)
+        return ExperimentResult(
+            name="context-switch",
+            title="Context-switch sensitivity (periodic full state flush)",
+            text=text,
+            data=data,
         )
-        data[line_bytes] = {"bep": report.bep, "entry_bits": entry_bits}
-    text = format_table(
-        ["line size", "NLS entry bits", "I-miss", "BEP(misfetch)", "BEP"], rows
-    )
-    return ExperimentResult(
-        name="line-size",
-        title="Line-size sweep (1024 NLS-table, 16K direct cache)",
-        text=text,
-        data=data,
-    )
+
+    cells = tuple(cell for _, _, group in groups for cell in group)
+    return ExperimentPlan(name="context-switch", cells=cells, finish=finish)
 
 
 def context_switch(
@@ -1029,38 +1515,104 @@ def context_switch(
     how quickly each architecture re-learns.  Warmup is disabled —
     cold restarts are the effect being measured.
     """
-    programs = _programs(programs)
-    rows = []
-    data: Dict[str, Dict[str, float]] = {}
-    for interval in intervals:
-        label = "never" if interval is None else f"every {interval:,}"
-        for name, frontend, kwargs in (
-            ("1024 NLS-table", "nls-table", {"entries": 1024}),
-            ("128 BTB", "btb", {"entries": 128}),
-        ):
-            config = ArchitectureConfig(
-                frontend=frontend, cache_kb=16, flush_interval=interval, **kwargs
-            )
-            report = _average(config, programs, instructions, 0.0, name)
-            rows.append(
-                (
-                    label,
-                    name,
-                    f"{100 * report.icache_miss_rate:.2f}%",
-                    f"{report.bep:.3f}",
-                )
-            )
-            data.setdefault(label, {})[name] = report.bep
-    text = format_table(["flush interval", "front-end", "I-miss", "BEP"], rows)
-    return ExperimentResult(
-        name="context-switch",
-        title="Context-switch sensitivity (periodic full state flush)",
-        text=text,
-        data=data,
+    return _context_switch_plan(
+        programs=programs, instructions=instructions, intervals=intervals
+    ).run()
+
+
+#: declarative registry: one spec per table/figure (used by the CLI's
+#: ``list`` subcommand and the cross-experiment parallel executor)
+SPECS: Dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        ExperimentSpec(
+            "table1", "measured attributes of the traced programs", _table1_plan
+        ),
+        ExperimentSpec(
+            "fig3", "register-bit-equivalent costs (Mulder et al.)", _fig3_plan
+        ),
+        ExperimentSpec(
+            "fig4", "average BEP, NLS-cache vs NLS-table sizes", _fig4_plan
+        ),
+        ExperimentSpec(
+            "fig5", "average BEP, BTBs vs the 1024-entry NLS-table", _fig5_plan
+        ),
+        ExperimentSpec(
+            "fig6", "BTB access times (Wilton-Jouppi model)", _fig6_plan
+        ),
+        ExperimentSpec(
+            "fig7", "per-program BEP, NLS-table vs BTB", _fig7_plan
+        ),
+        ExperimentSpec(
+            "fig8", "cycles per instruction (single issue)", _fig8_plan
+        ),
+        ExperimentSpec(
+            "johnson", "decoupled NLS vs Johnson's coupled design", _johnson_plan
+        ),
+        ExperimentSpec(
+            "ablation-nls-cache",
+            "NLS-cache predictors/line x policy ablation",
+            _ablation_nls_cache_plan,
+        ),
+        ExperimentSpec(
+            "ablation-direction",
+            "direction-predictor ablation under the NLS-table",
+            _ablation_direction_plan,
+        ),
+        ExperimentSpec(
+            "ablation-layout",
+            "procedure-placement ablation, NLS vs BTB",
+            _ablation_layout_plan,
+        ),
+        ExperimentSpec(
+            "coupled", "coupled vs decoupled BTB direction prediction", _coupled_plan
+        ),
+        ExperimentSpec(
+            "way-prediction",
+            "fall-through way prediction accuracy (S4.2)",
+            _way_prediction_plan,
+        ),
+        ExperimentSpec(
+            "multi-issue", "IPC vs fetch width (S8 extension)", _multi_issue_plan
+        ),
+        ExperimentSpec(
+            "address-space",
+            "structure cost vs address-space size (S7)",
+            _address_space_plan,
+        ),
+        ExperimentSpec(
+            "steely-sager",
+            "NLS indirect prediction vs Steely-Sager register",
+            _steely_sager_plan,
+        ),
+        ExperimentSpec(
+            "calibration", "workload calibration vs paper Table 1", _calibration_plan
+        ),
+        ExperimentSpec(
+            "misfetch-causes",
+            "NLS misfetch-cause histogram vs cache size",
+            _misfetch_causes_plan,
+        ),
+        ExperimentSpec(
+            "btb-allocation",
+            "taken-only vs allocate-all BTB policies (S3)",
+            _btb_allocation_plan,
+        ),
+        ExperimentSpec(
+            "ras-depth", "return-address-stack depth sweep", _ras_depth_plan
+        ),
+        ExperimentSpec(
+            "line-size", "cache line-size sweep under the NLS-table", _line_size_plan
+        ),
+        ExperimentSpec(
+            "context-switch",
+            "BEP under periodic full state flushes",
+            _context_switch_plan,
+        ),
     )
+}
 
-
-#: registry used by the CLI
+#: registry used by the CLI (stable driver functions, serial backend)
 EXPERIMENTS = {
     "table1": table1,
     "fig3": fig3,

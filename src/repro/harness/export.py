@@ -20,8 +20,9 @@ from repro.harness.experiments import ExperimentResult
 def _jsonable(value):
     """Convert experiment data values into JSON-encodable objects."""
     if hasattr(value, "summary") and hasattr(value, "bep"):
-        # SimulationReport-like: export the derived metrics
-        return {
+        # SimulationReport-like: export the derived metrics plus run
+        # provenance (which backend/worker produced it, and when)
+        payload = {
             "label": value.label,
             "program": value.program,
             "pct_misfetched": value.pct_misfetched,
@@ -32,6 +33,10 @@ def _jsonable(value):
             "icache_miss_rate": value.icache_miss_rate,
             "cpi": value.cpi,
         }
+        meta = getattr(value, "meta", None)
+        if meta is not None:
+            payload["meta"] = {k: _jsonable(v) for k, v in asdict(meta).items()}
+        return payload
     if is_dataclass(value) and not isinstance(value, type):
         return {k: _jsonable(v) for k, v in asdict(value).items()}
     if isinstance(value, dict):

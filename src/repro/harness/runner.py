@@ -1,22 +1,233 @@
-"""Sweep runner: simulate (config × program) grids.
+"""Run-plan executor: simulate (config × program) grids through
+pluggable backends.
 
-Traces are memoised by :mod:`repro.workloads.corpus`, so a sweep pays
-the trace-generation cost once per program.
+The harness is layered spec → plan → backend (see DESIGN.md,
+"Harness architecture"):
+
+* experiments declare the cells they need as :class:`RunRequest`
+  values — picklable descriptions, never live engines;
+* a :class:`RunPlan` collects requests (possibly from many
+  experiments), **dedups** identical ``(config, program, instructions,
+  seed, layout, warmup)`` keys, and executes the unique cells through
+  one of the registered :data:`BACKENDS`:
+
+  - ``serial`` — in-process loop, bit-identical to the historical
+    single-threaded sweep (the default);
+  - ``process`` — a multiprocessing pool; cells are batched by trace
+    key so each worker generates a given trace once and memoises it
+    via :mod:`repro.workloads.corpus` (per-process cache).
+
+Every cell's report carries a :class:`~repro.metrics.report.RunMetadata`
+with the config label, program, seed, layout, executing backend, pid
+and wall time, so provenance survives aggregation and export.
+
+Traces are memoised by :mod:`repro.workloads.corpus`, so a serial
+sweep pays the trace-generation cost once per program.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.harness.config import ArchitectureConfig
-from repro.metrics.report import SimulationReport
-from repro.workloads.corpus import generate_trace
+from repro.metrics.report import RunMetadata, SimulationReport
+from repro.workloads.corpus import clear_cache, generate_trace, trace_key
 from repro.workloads.trace import Trace
 
 
 #: default warmup fraction — the first 30% of every trace trains the
 #: structures without being counted (see FetchEngine.run)
 DEFAULT_WARMUP = 0.30
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation cell: *config* applied to one generated trace.
+
+    A request is a pure value — hashable (so plans can dedup it) and
+    picklable (so process-pool workers can rebuild the engine on their
+    side).  ``instructions``/``seed`` of ``None`` defer to the
+    program profile's calibrated defaults, exactly as
+    :func:`~repro.workloads.corpus.generate_trace` resolves them.
+    """
+
+    config: ArchitectureConfig
+    program: str
+    instructions: Optional[int] = None
+    seed: Optional[int] = None
+    layout: str = "natural"
+    warmup: float = DEFAULT_WARMUP
+
+    def resolved_trace_key(self):
+        """Fully-resolved key of the trace this cell simulates (cells
+        sharing it are batched onto the same pool worker)."""
+        return trace_key(
+            self.program,
+            instructions=self.instructions,
+            seed=self.seed,
+            layout=self.layout,
+        )
+
+
+def run_request(request: RunRequest, backend: str = "serial") -> SimulationReport:
+    """Execute one cell: generate (or reuse) the trace, build a fresh
+    engine from the picklable config, run, and stamp provenance."""
+    trace = generate_trace(
+        request.program,
+        instructions=request.instructions,
+        seed=request.seed,
+        layout=request.layout,
+    )
+    config = request.config
+    started = time.perf_counter()
+    engine = config.build()
+    report = engine.run(
+        trace, label=config.label(), warmup_fraction=request.warmup
+    )
+    meta = RunMetadata(
+        config_label=config.label(),
+        program=request.program,
+        instructions=request.instructions,
+        seed=request.seed,
+        layout=request.layout,
+        warmup=request.warmup,
+        backend=backend,
+        wall_time_s=time.perf_counter() - started,
+        pid=os.getpid(),
+    )
+    return replace(report, meta=meta)
+
+
+# ---------------------------------------------------------------------------
+# backends
+# ---------------------------------------------------------------------------
+
+
+def _execute_serial(
+    requests: Sequence[RunRequest], jobs: Optional[int] = None
+) -> Dict[RunRequest, SimulationReport]:
+    """In-process backend: one cell after another, insertion order."""
+    return {request: run_request(request, backend="serial") for request in requests}
+
+
+def _batches_by_trace(requests: Sequence[RunRequest]) -> List[List[RunRequest]]:
+    """Group cells sharing a trace so a worker generates it once."""
+    groups: Dict[tuple, List[RunRequest]] = {}
+    for request in requests:
+        groups.setdefault(request.resolved_trace_key(), []).append(request)
+    return list(groups.values())
+
+
+def _worker_init() -> None:
+    """Pool initialiser: start each worker with an empty, private
+    trace corpus (nothing stale inherited across a fork)."""
+    clear_cache()
+
+
+def _run_batch(
+    batch: List[RunRequest],
+) -> List[Tuple[RunRequest, SimulationReport]]:
+    """Worker task: execute one same-trace batch of cells."""
+    return [(request, run_request(request, backend="process")) for request in batch]
+
+
+def _execute_process(
+    requests: Sequence[RunRequest], jobs: Optional[int] = None
+) -> Dict[RunRequest, SimulationReport]:
+    """Multiprocessing backend: same-trace batches fan out to a pool."""
+    if not requests:
+        return {}
+    if jobs is None or jobs < 1:
+        jobs = os.cpu_count() or 1
+    batches = _batches_by_trace(requests)
+    results: Dict[RunRequest, SimulationReport] = {}
+    context = multiprocessing.get_context()
+    with context.Pool(
+        processes=min(jobs, len(batches)), initializer=_worker_init
+    ) as pool:
+        for pairs in pool.imap_unordered(_run_batch, batches):
+            for request, report in pairs:
+                results[request] = report
+    return results
+
+
+#: executor backends selectable via the CLI's ``--jobs`` flag
+BACKENDS: Dict[str, Callable[..., Dict[RunRequest, SimulationReport]]] = {
+    "serial": _execute_serial,
+    "process": _execute_process,
+}
+
+
+class RunPlan:
+    """A deduplicating batch of simulation cells.
+
+    Requests from any number of experiments are added; identical cells
+    collapse to one execution whose report is shared by every
+    requester.  ``requested``/``unique`` expose how much work dedup
+    saved, and :meth:`execute` runs the unique cells through a named
+    backend.
+    """
+
+    def __init__(self, requests: Iterable[RunRequest] = ()) -> None:
+        self._order: List[RunRequest] = []
+        self._seen: set = set()
+        self.requested = 0
+        self.add_all(requests)
+
+    def add(self, request: RunRequest) -> RunRequest:
+        """Add one cell (deduplicated) and return it as its own key."""
+        self.requested += 1
+        if request not in self._seen:
+            self._seen.add(request)
+            self._order.append(request)
+        return request
+
+    def add_all(self, requests: Iterable[RunRequest]) -> None:
+        """Add every cell of *requests* (deduplicated)."""
+        for request in requests:
+            self.add(request)
+
+    @property
+    def requests(self) -> Tuple[RunRequest, ...]:
+        """The unique cells, in first-requested order."""
+        return tuple(self._order)
+
+    @property
+    def unique(self) -> int:
+        """Number of distinct cells that will actually execute."""
+        return len(self._order)
+
+    def execute(
+        self, backend: str = "serial", jobs: Optional[int] = None
+    ) -> Dict[RunRequest, SimulationReport]:
+        """Run every unique cell through *backend*; returns the full
+        request → report mapping."""
+        try:
+            execute = BACKENDS[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{tuple(sorted(BACKENDS))}"
+            ) from None
+        return execute(self._order, jobs)
+
+
+# ---------------------------------------------------------------------------
+# single-cell / single-grid conveniences (the historical API)
+# ---------------------------------------------------------------------------
 
 
 def run_config(
@@ -45,12 +256,17 @@ def simulate(
     """Simulate calibrated *program* (by name, or a prebuilt trace)
     under *config* and return the report."""
     if isinstance(program, Trace):
-        trace = program
-    else:
-        trace = generate_trace(
-            program, instructions=instructions, seed=seed, layout=layout
+        return run_config(config, program, warmup_fraction=warmup_fraction)
+    return run_request(
+        RunRequest(
+            config=config,
+            program=program,
+            instructions=instructions,
+            seed=seed,
+            layout=layout,
+            warmup=warmup_fraction,
         )
-    return run_config(config, trace, warmup_fraction=warmup_fraction)
+    )
 
 
 def sweep(
@@ -60,27 +276,38 @@ def sweep(
     seed: Optional[int] = None,
     layout: str = "natural",
     warmup_fraction: float = DEFAULT_WARMUP,
+    backend: str = "serial",
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[SimulationReport]]:
     """Simulate every config on every program.
 
     Returns ``{config_label: [report_per_program, ...]}`` with program
-    order preserved.
+    order preserved.  The grid is executed as a deduplicated
+    :class:`RunPlan`, so repeated configs cost nothing, and *backend*
+    (with *jobs* workers) selects serial or parallel execution.
     """
     programs = list(programs)
-    results: Dict[str, List[SimulationReport]] = {}
+    grid: Dict[str, List[RunRequest]] = {}
+    plan = RunPlan()
     for config in configs:
         label = config.label()
-        per_program: List[SimulationReport] = []
+        row = []
         for program in programs:
-            per_program.append(
-                simulate(
-                    config,
-                    program,
-                    instructions=instructions,
-                    seed=seed,
-                    layout=layout,
-                    warmup_fraction=warmup_fraction,
+            row.append(
+                plan.add(
+                    RunRequest(
+                        config=config,
+                        program=program,
+                        instructions=instructions,
+                        seed=seed,
+                        layout=layout,
+                        warmup=warmup_fraction,
+                    )
                 )
             )
-        results[label] = per_program
-    return results
+        grid[label] = row
+    reports = plan.execute(backend=backend, jobs=jobs)
+    return {
+        label: [reports[request] for request in row]
+        for label, row in grid.items()
+    }

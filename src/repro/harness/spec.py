@@ -1,0 +1,106 @@
+"""Declarative experiment specs: the spec → plan → backend pipeline.
+
+An :class:`ExperimentSpec` is the registered, declarative form of one
+table/figure: a name, a one-line summary, and a *plan builder* that —
+given the experiment's keyword knobs (programs, trace length, cache
+grid, ...) — materialises an :class:`ExperimentPlan`: the exact
+simulation cells the experiment needs plus a ``finish`` renderer that
+turns the cell reports into the final :class:`ExperimentResult`.
+
+Splitting *what to simulate* (cells) from *how to present it*
+(finish) is what makes the full-paper reproduction embarrassingly
+parallel: :func:`run_plans` pools the cells of many experiments into
+one deduplicated :class:`~repro.harness.runner.RunPlan`, executes the
+unique cells through any backend, and hands each experiment's
+renderer the shared reports.  Cost-model experiments (fig3, fig6, …)
+simply declare zero cells and do all their work in ``finish``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.harness.runner import RunPlan, RunRequest
+from repro.metrics.report import SimulationReport
+
+#: the request → report mapping a plan's ``finish`` renderer receives
+ReportMap = Mapping[RunRequest, SimulationReport]
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered text plus raw data of one regenerated table/figure."""
+
+    name: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.title}\n\n{self.text}"
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """The materialised cells + renderer of one experiment invocation.
+
+    ``cells`` may repeat or overlap other experiments' cells — the
+    executor dedups; ``finish`` must only read ``reports[cell]`` for
+    its own cells, so it works identically whether the reports came
+    from a private serial run or a shared parallel plan.
+    """
+
+    name: str
+    cells: Tuple[RunRequest, ...]
+    finish: Callable[[ReportMap], ExperimentResult]
+
+    def run(
+        self, backend: str = "serial", jobs: Optional[int] = None
+    ) -> ExperimentResult:
+        """Execute this plan's cells alone and render the result."""
+        reports = RunPlan(self.cells).execute(backend=backend, jobs=jobs)
+        return self.finish(reports)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: name, summary, and plan builder.
+
+    ``build(**kwargs)`` accepts the same keyword knobs the historical
+    per-figure driver functions took and returns the materialised
+    :class:`ExperimentPlan`; building a plan is cheap (no simulation),
+    so cell counts can be inspected without running anything.
+    """
+
+    name: str
+    summary: str
+    build: Callable[..., ExperimentPlan]
+
+    def plan(self, **kwargs) -> ExperimentPlan:
+        """Materialise the plan for the given experiment knobs."""
+        return self.build(**kwargs)
+
+    def run(
+        self, backend: str = "serial", jobs: Optional[int] = None, **kwargs
+    ) -> ExperimentResult:
+        """Plan, execute and render this experiment in one call."""
+        return self.plan(**kwargs).run(backend=backend, jobs=jobs)
+
+
+def run_plans(
+    plans: Sequence[ExperimentPlan],
+    backend: str = "serial",
+    jobs: Optional[int] = None,
+) -> Tuple[List[ExperimentResult], RunPlan]:
+    """Execute many experiments against one shared, deduplicated plan.
+
+    Returns the rendered results (in *plans* order) together with the
+    executed :class:`RunPlan`, whose ``requested``/``unique`` counters
+    report how many engine runs cross-experiment dedup saved.
+    """
+    plan = RunPlan()
+    for experiment in plans:
+        plan.add_all(experiment.cells)
+    reports = plan.execute(backend=backend, jobs=jobs)
+    return [experiment.finish(reports) for experiment in plans], plan

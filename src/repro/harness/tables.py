@@ -35,6 +35,15 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_seconds(seconds: float) -> str:
+    """Render a wall time compactly: milliseconds under one second,
+    one-decimal seconds otherwise (used by the CLI's parallel summary
+    and the sweep benchmarks)."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    return f"{seconds:.1f}s"
+
+
 def _cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"

@@ -36,6 +36,27 @@ class PenaltyModel:
 
 
 @dataclass(frozen=True)
+class RunMetadata:
+    """Provenance of one simulation cell.
+
+    Attached to the :class:`SimulationReport` a cell produces so any
+    number in any rendered figure can be traced back to the exact
+    (config, program, seed, layout) that generated it, which backend
+    executed it, and what it cost in wall time.
+    """
+
+    config_label: str
+    program: str
+    instructions: Optional[int] = None
+    seed: Optional[int] = None
+    layout: str = "natural"
+    warmup: float = 0.0
+    backend: str = "serial"
+    wall_time_s: float = 0.0
+    pid: int = 0
+
+
+@dataclass(frozen=True)
 class SimulationReport:
     """All derived metrics of one simulation run."""
 
@@ -50,6 +71,12 @@ class SimulationReport:
     penalties: PenaltyModel = field(default_factory=PenaltyModel)
     #: optional per-kind (executed, misfetched, mispredicted) breakdown
     by_kind: Optional[Dict[BranchKind, tuple]] = None
+    #: optional front-end-specific statistics (e.g. the NLS front
+    #: ends' mismatch-cause histogram), deterministic per cell
+    frontend_stats: Optional[Dict[str, int]] = None
+    #: run provenance, attached by the harness runner; wall time and
+    #: worker pid vary run to run, so it never participates in equality
+    meta: Optional[RunMetadata] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
 
@@ -60,6 +87,7 @@ class SimulationReport:
         label: str = "",
         program: str = "",
         penalties: Optional[PenaltyModel] = None,
+        frontend_stats: Optional[Dict[str, int]] = None,
     ) -> "SimulationReport":
         """Derive a report from raw counters."""
         return cls(
@@ -76,6 +104,7 @@ class SimulationReport:
                 kind: (c.executed, c.misfetched, c.mispredicted)
                 for kind, c in counters.by_kind.items()
             },
+            frontend_stats=frontend_stats,
         )
 
     # ------------------------------------------------------------------

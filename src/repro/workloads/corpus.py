@@ -2,8 +2,17 @@
 
 A full figure sweep simulates the same program trace under dozens of
 architecture configurations; regenerating the trace each time would
-dominate the runtime.  This module memoises traces keyed by
-(program, instruction budget, seed, layout).
+dominate the runtime.  This module memoises traces keyed by the fully
+resolved set of generation parameters — ``(program, instruction
+budget, seed, layout)``, where the budget already folds in the global
+``REPRO_TRACE_SCALE`` multiplier and the seed/length defaults come
+from the program's calibrated profile.  :func:`trace_key` exposes that
+key so the parallel run-plan executor can group simulation cells that
+share a trace onto the same worker.
+
+Worker processes each hold their own private cache (module state is
+per process); :func:`clear_cache` gives pool initialisers and tests an
+explicit way to start from — or return to — an empty corpus.
 
 The global scale knob ``REPRO_TRACE_SCALE`` (an environment variable,
 default 1.0) multiplies every requested budget, letting test runs use
@@ -20,7 +29,10 @@ from repro.workloads.interpreter import execute
 from repro.workloads.profiles import get_profile
 from repro.workloads.trace import Trace
 
-_CACHE: Dict[Tuple[str, int, int, str], Trace] = {}
+#: fully resolved memoisation key: (program, budget, seed, layout)
+TraceKey = Tuple[str, int, int, str]
+
+_CACHE: Dict[TraceKey, Trace] = {}
 
 #: environment variable multiplying every trace budget
 SCALE_ENV_VAR = "REPRO_TRACE_SCALE"
@@ -42,6 +54,27 @@ def trace_scale() -> float:
     return scale
 
 
+def trace_key(
+    name: str,
+    instructions: Optional[int] = None,
+    seed: Optional[int] = None,
+    layout: str = "natural",
+) -> TraceKey:
+    """Resolve every generation parameter into the memoisation key.
+
+    ``instructions`` and ``seed`` default from the program's profile
+    and the budget is scaled by ``REPRO_TRACE_SCALE``, so two requests
+    that would generate the same trace always map to the same key —
+    and two that would not, never do.
+    """
+    profile = get_profile(name)
+    if instructions is None:
+        instructions = profile.default_instructions
+    budget = max(1, int(instructions * trace_scale()))
+    effective_seed = profile.seed if seed is None else seed
+    return (name, budget, effective_seed, layout)
+
+
 def generate_trace(
     name: str,
     instructions: Optional[int] = None,
@@ -53,14 +86,11 @@ def generate_trace(
     *instructions* defaults to the profile's calibrated trace length;
     either way it is multiplied by ``REPRO_TRACE_SCALE``.
     """
-    profile = get_profile(name)
-    if instructions is None:
-        instructions = profile.default_instructions
-    budget = max(1, int(instructions * trace_scale()))
-    effective_seed = profile.seed if seed is None else seed
-    key = (name, budget, effective_seed, layout)
+    key = trace_key(name, instructions=instructions, seed=seed, layout=layout)
     trace = _CACHE.get(key)
     if trace is None:
+        profile = get_profile(name)
+        _, budget, effective_seed, _ = key
         program = build_program(profile, layout=layout, seed=effective_seed)
         trace = execute(
             program,
@@ -73,6 +103,25 @@ def generate_trace(
     return trace
 
 
-def clear_trace_cache() -> None:
-    """Drop all memoised traces (tests use this to bound memory)."""
+def cache_info() -> Dict[str, object]:
+    """Snapshot of the memoised corpus: entry count, cached keys and
+    total instructions held (workers use this to bound memory)."""
+    return {
+        "entries": len(_CACHE),
+        "keys": tuple(_CACHE),
+        "instructions": sum(t.n_instructions for t in _CACHE.values()),
+    }
+
+
+def clear_cache() -> None:
+    """Drop all memoised traces.
+
+    Pool workers call this from their initialiser so each worker
+    starts from an empty, private corpus (no stale state inherited
+    across forks); tests use it to bound memory.
+    """
     _CACHE.clear()
+
+
+#: backwards-compatible alias for :func:`clear_cache`
+clear_trace_cache = clear_cache
