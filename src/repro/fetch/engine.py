@@ -36,6 +36,7 @@ from repro.metrics.counters import SimulationCounters
 from repro.metrics.report import PenaltyModel, SimulationReport
 from repro.predictors.pht import GSharePredictor
 from repro.predictors.ras import ReturnAddressStack
+from repro.telemetry.core import get_registry
 from repro.workloads.trace import Trace
 
 def _no_address(handle) -> Optional[int]:
@@ -116,8 +117,42 @@ class FetchEngine:
         Front ends that keep a mismatch-cause histogram (the NLS
         designs) have it snapshotted into ``report.frontend_stats`` so
         downstream analyses never need the live engine — reports are
-        self-contained and cross process boundaries intact."""
-        counters = self._simulate(trace, warmup_fraction)
+        self-contained and cross process boundaries intact.
+
+        When a telemetry registry is active (see
+        :mod:`repro.telemetry`), the run is wrapped in an
+        ``engine.run`` span and per-phase counters are published —
+        icache probes, front-end predicts, return-stack operations and
+        blocks decoded.  The counts are derived from aggregates the
+        loop maintains anyway (cache access totals, trace columns), so
+        the hot loop itself carries **no** instrumentation and the
+        disabled path costs nothing."""
+        registry = get_registry()
+        probe_base = self.cache.accesses
+        with registry.span(
+            "engine.run",
+            label=label if label is not None else self.frontend.name,
+            program=trace.name,
+            frontend=self.frontend.name,
+        ):
+            counters = self._simulate(trace, warmup_fraction)
+        if registry.enabled:
+            kinds = trace.kinds
+            blocks = len(kinds)
+            predicts = blocks - kinds.count(int(BranchKind.NOT_A_BRANCH))
+            ras_ops = 0
+            if self.uses_ras:
+                # one push per CALL, one pop per RETURN (whole trace,
+                # warmup included — this is throughput accounting)
+                ras_ops = kinds.count(int(BranchKind.CALL)) + kinds.count(
+                    int(BranchKind.RETURN)
+                )
+            registry.counter("engine.blocks_decoded").add(blocks)
+            registry.counter("engine.icache_probes").add(
+                self.cache.accesses - probe_base
+            )
+            registry.counter("engine.frontend_predicts").add(predicts)
+            registry.counter("engine.ras_ops").add(ras_ops)
         stats = getattr(self.frontend, "mismatch_causes", None)
         return SimulationReport.from_counters(
             counters,

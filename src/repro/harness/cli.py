@@ -6,7 +6,9 @@ Examples::
     python -m repro.harness fig5 --instructions 500000
     python -m repro.harness list
     python -m repro.harness all --out results/ --jobs 4
-    repro-harness fig7 --programs gcc cfront
+    python -m repro.harness bench --smoke
+    python -m repro.harness bench --gate BENCH_engine.json --tolerance 0.10
+    repro-harness fig7 --programs gcc cfront --telemetry run.ndjson
 
 ``list`` prints every registered experiment with its simulation cell
 count (computed by materialising the plans — no simulation runs) and
@@ -15,6 +17,16 @@ backend: 1 (the default) is the in-process serial backend,
 bit-identical to the historical behaviour; any other value pools the
 requested experiments' cells into one deduplicated run plan and
 executes it on the multiprocessing backend (0 = one worker per CPU).
+
+``bench`` runs the standardised engine-throughput and parallel-sweep
+benchmarks (see :mod:`repro.telemetry.bench`), writes schema-versioned
+``BENCH_engine.json`` / ``BENCH_sweep.json`` artifacts, and — with
+``--gate BASELINE.json`` — exits non-zero when any throughput metric
+regressed more than ``--tolerance`` below the baseline.
+
+``--telemetry FILE`` enables the telemetry registry for the run and
+writes the recorded counters, timers and spans to *FILE* as NDJSON
+(one event per line — DESIGN.md §10 documents the schema).
 """
 
 from __future__ import annotations
@@ -30,6 +42,8 @@ from repro.harness.experiments import EXPERIMENTS, SPECS, ExperimentResult
 from repro.harness.runner import RunPlan
 from repro.harness.spec import run_plans
 from repro.harness.tables import format_seconds, format_table
+from repro.telemetry.core import Registry, use
+from repro.telemetry.sinks import write_events
 from repro.workloads.profiles import paper_programs
 
 
@@ -43,10 +57,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "bench"],
         help=(
             "which table/figure to regenerate ('all' runs everything, "
-            "'list' shows the registry with per-experiment cell counts)"
+            "'list' shows the registry with per-experiment cell counts, "
+            "'bench' runs the standardised benchmarks and writes "
+            "BENCH_*.json artifacts)"
         ),
     )
     parser.add_argument(
@@ -82,6 +98,42 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("txt", "json", "csv"),
         default=("txt",),
         help="output formats for --out (default: txt)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help=(
+            "enable the telemetry registry for the run and write the "
+            "recorded events to FILE as NDJSON (one event per line)"
+        ),
+    )
+    bench = parser.add_argument_group("bench options")
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bench: shrink every budget so the suite finishes in seconds",
+    )
+    bench.add_argument(
+        "--bench-dir",
+        default=".",
+        metavar="DIR",
+        help="bench: directory for BENCH_*.json artifacts (default: cwd)",
+    )
+    bench.add_argument(
+        "--gate",
+        metavar="BASELINE.json",
+        default=None,
+        help=(
+            "bench: compare the fresh results against this baseline and "
+            "exit non-zero on any throughput regression"
+        ),
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="bench --gate: allowed fractional slowdown (default: 0.10)",
     )
     return parser
 
@@ -128,11 +180,69 @@ def _write(result: ExperimentResult, args: argparse.Namespace) -> None:
         write_result(result, args.out, formats=tuple(args.formats))
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """``bench`` subcommand: run the standardised benchmarks, write
+    the ``BENCH_*.json`` artifacts, optionally gate against a baseline."""
+    from repro.telemetry import bench as bench_module
+
+    jobs = args.jobs if args.jobs > 1 else None
+    suite = bench_module.run_bench_suite(smoke=args.smoke, jobs=jobs)
+    for kind, filename in (
+        ("engine", bench_module.ENGINE_BENCH_FILE),
+        ("sweep", bench_module.SWEEP_BENCH_FILE),
+    ):
+        payload = suite[kind]
+        path = bench_module.write_bench(
+            payload, os.path.join(args.bench_dir, filename)
+        )
+        print(f"=== bench {kind} -> {path} ===")
+        for label in sorted(payload["results"]):
+            metrics = payload["results"][label]
+            rendered = " ".join(
+                f"{metric}={metrics[metric]:,.1f}" for metric in sorted(metrics)
+            )
+            print(f"  {label:<12} {rendered}")
+    if args.gate:
+        baseline = bench_module.load_bench(args.gate)
+        kind = baseline.get("kind", "engine")
+        current = suite.get(kind)
+        if current is None:
+            print(f"gate: baseline kind {kind!r} has no current counterpart")
+            return 1
+        violations = bench_module.gate(
+            current, baseline, tolerance=args.tolerance
+        )
+        if violations:
+            print(
+                f"gate FAILED against {args.gate} "
+                f"(tolerance {args.tolerance:.0%}):"
+            )
+            for violation in violations:
+                print(f"  REGRESSION {violation}")
+            return 1
+        print(f"gate passed against {args.gate} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-harness`` / ``python -m repro.harness``."""
     args = _build_parser().parse_args(argv)
+    if args.telemetry:
+        registry = Registry(enabled=True)
+        with use(registry):
+            status = _dispatch(args)
+        count = write_events(args.telemetry, registry.events())
+        print(f"[telemetry: {count} events -> {args.telemetry}]")
+        return status
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Route the parsed arguments to the right subcommand body."""
     if args.experiment == "list":
         return _list_experiments(args)
+    if args.experiment == "bench":
+        return _run_bench(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out:
         os.makedirs(args.out, exist_ok=True)

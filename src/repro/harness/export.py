@@ -4,6 +4,13 @@
 this module writes them as JSON (full fidelity) or flat CSV (one row
 per leaf value) so external plotting tools can regenerate the paper's
 figures graphically.
+
+Reports carry provenance twice over: the runner's ``meta``
+(:class:`~repro.metrics.report.RunMetadata`) and the telemetry
+``manifest`` (:class:`~repro.telemetry.manifest.RunManifest` — git
+SHA, interpreter/platform, trace key, wall/CPU cost, peak RSS); both
+are serialised into every exported report object, so a results file
+is self-describing.
 """
 
 from __future__ import annotations
@@ -36,6 +43,11 @@ def _jsonable(value):
         meta = getattr(value, "meta", None)
         if meta is not None:
             payload["meta"] = {k: _jsonable(v) for k, v in asdict(meta).items()}
+        manifest = getattr(value, "manifest", None)
+        if manifest is not None:
+            payload["manifest"] = {
+                k: _jsonable(v) for k, v in manifest.to_dict().items()
+            }
         return payload
     if is_dataclass(value) and not isinstance(value, type):
         return {k: _jsonable(v) for k, v in asdict(value).items()}

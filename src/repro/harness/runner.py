@@ -19,7 +19,18 @@ The harness is layered spec → plan → backend (see DESIGN.md,
 
 Every cell's report carries a :class:`~repro.metrics.report.RunMetadata`
 with the config label, program, seed, layout, executing backend, pid
-and wall time, so provenance survives aggregation and export.
+and wall time, plus a :class:`~repro.telemetry.manifest.RunManifest`
+(git SHA, interpreter/platform, trace key, wall/CPU cost, peak RSS),
+so provenance survives aggregation and export.
+
+When a telemetry registry is active (see :mod:`repro.telemetry`),
+every cell is wrapped in a ``runner.cell`` span; pool workers record
+into private registries whose snapshots ship back with each batch and
+merge into the parent's, so serial and process runs produce equivalent
+counter totals.  Worker failures surface as
+:class:`CellExecutionError` naming the offending cell, and a pool that
+cannot start at all (sandboxes) degrades to the serial backend with a
+warning.
 
 Traces are memoised by :mod:`repro.workloads.corpus`, so a serial
 sweep pays the trace-generation cost once per program.
@@ -30,8 +41,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass, replace
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -44,6 +57,8 @@ from typing import (
 
 from repro.harness.config import ArchitectureConfig
 from repro.metrics.report import RunMetadata, SimulationReport
+from repro.telemetry import manifest as manifest_module
+from repro.telemetry.core import Registry, get_registry, set_registry
 from repro.workloads.corpus import clear_cache, generate_trace, trace_key
 from repro.workloads.trace import Trace
 
@@ -82,33 +97,72 @@ class RunRequest:
         )
 
 
+class CellExecutionError(RuntimeError):
+    """A simulation cell failed inside an executor backend.
+
+    Raised instead of the worker's bare pickled traceback so the error
+    names the offending cell — config label, program and seed — which
+    is what a sweep over hundreds of cells needs to be debuggable.
+    """
+
+
 def run_request(request: RunRequest, backend: str = "serial") -> SimulationReport:
     """Execute one cell: generate (or reuse) the trace, build a fresh
-    engine from the picklable config, run, and stamp provenance."""
-    trace = generate_trace(
-        request.program,
-        instructions=request.instructions,
-        seed=request.seed,
-        layout=request.layout,
-    )
+    engine from the picklable config, run, and stamp provenance.
+
+    The cell is wrapped in a ``runner.cell`` telemetry span (a no-op
+    unless a registry is active — see :mod:`repro.telemetry`), and the
+    report carries both a :class:`RunMetadata` and a
+    :class:`~repro.telemetry.manifest.RunManifest`."""
+    registry = get_registry()
     config = request.config
-    started = time.perf_counter()
-    engine = config.build()
-    report = engine.run(
-        trace, label=config.label(), warmup_fraction=request.warmup
-    )
+    label = config.label()
+    with registry.span(
+        "runner.cell", config=label, program=request.program, backend=backend
+    ):
+        trace = generate_trace(
+            request.program,
+            instructions=request.instructions,
+            seed=request.seed,
+            layout=request.layout,
+        )
+        started = time.perf_counter()
+        cpu_started = time.process_time()
+        engine = config.build()
+        report = engine.run(
+            trace, label=label, warmup_fraction=request.warmup
+        )
+        wall = time.perf_counter() - started
+        cpu = time.process_time() - cpu_started
+    registry.counter("runner.cells").add()
     meta = RunMetadata(
-        config_label=config.label(),
+        config_label=label,
         program=request.program,
         instructions=request.instructions,
         seed=request.seed,
         layout=request.layout,
         warmup=request.warmup,
         backend=backend,
-        wall_time_s=time.perf_counter() - started,
+        wall_time_s=wall,
         pid=os.getpid(),
     )
-    return replace(report, meta=meta)
+    manifest = manifest_module.collect(
+        config_label=label,
+        program=request.program,
+        trace_key=request.resolved_trace_key(),
+        wall_time_s=wall,
+        cpu_time_s=cpu,
+    )
+    return replace(report, meta=meta, manifest=manifest)
+
+
+def _cell_error(request: RunRequest, exc: BaseException) -> CellExecutionError:
+    """Wrap *exc* in an error naming the offending cell."""
+    return CellExecutionError(
+        f"simulation cell failed: config={request.config.label()!r} "
+        f"program={request.program!r} seed={request.seed!r} "
+        f"layout={request.layout!r}: {type(exc).__name__}: {exc}"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -124,41 +178,92 @@ def _execute_serial(
 
 
 def _batches_by_trace(requests: Sequence[RunRequest]) -> List[List[RunRequest]]:
-    """Group cells sharing a trace so a worker generates it once."""
+    """Group cells sharing a trace so a worker generates it once.
+
+    Batches are sorted by their fully resolved trace key, so the pool
+    sees an identical work order regardless of request order or
+    ``PYTHONHASHSEED`` — batch assignment is reproducible run to run.
+    """
     groups: Dict[tuple, List[RunRequest]] = {}
     for request in requests:
         groups.setdefault(request.resolved_trace_key(), []).append(request)
-    return list(groups.values())
+    return [groups[key] for key in sorted(groups)]
 
 
-def _worker_init() -> None:
+def _worker_init(telemetry_enabled: bool = False) -> None:
     """Pool initialiser: start each worker with an empty, private
-    trace corpus (nothing stale inherited across a fork)."""
+    trace corpus (nothing stale inherited across a fork) and — when
+    the parent has telemetry on — a fresh per-worker registry whose
+    snapshot ships back with every batch result."""
     clear_cache()
+    if telemetry_enabled:
+        set_registry(Registry(enabled=True))
 
 
 def _run_batch(
     batch: List[RunRequest],
-) -> List[Tuple[RunRequest, SimulationReport]]:
-    """Worker task: execute one same-trace batch of cells."""
-    return [(request, run_request(request, backend="process")) for request in batch]
+) -> Tuple[List[Tuple[RunRequest, SimulationReport]], Optional[Dict[str, Any]]]:
+    """Worker task: execute one same-trace batch of cells.
+
+    Returns the cell reports plus the worker registry's telemetry
+    snapshot *delta* for this batch (``None`` when telemetry is off).
+    A failing cell raises :class:`CellExecutionError` naming the cell
+    instead of surfacing a bare pickled traceback.
+    """
+    pairs = []
+    for request in batch:
+        try:
+            pairs.append((request, run_request(request, backend="process")))
+        except CellExecutionError:
+            raise
+        except Exception as exc:
+            raise _cell_error(request, exc) from exc
+    registry = get_registry()
+    if not registry.enabled:
+        return pairs, None
+    snapshot = registry.snapshot()
+    # ship only this batch's delta: replace the worker registry so the
+    # parent can merge snapshots without double-counting
+    set_registry(Registry(enabled=True))
+    return pairs, snapshot
 
 
 def _execute_process(
     requests: Sequence[RunRequest], jobs: Optional[int] = None
 ) -> Dict[RunRequest, SimulationReport]:
-    """Multiprocessing backend: same-trace batches fan out to a pool."""
+    """Multiprocessing backend: same-trace batches fan out to a pool.
+
+    Worker telemetry snapshots are merged into the parent's active
+    registry, so counter totals and per-cell spans are equivalent to a
+    serial run.  If the pool cannot even start (sandboxed
+    environments, missing semaphores), the backend warns and falls
+    back to the serial executor rather than failing the sweep.
+    """
     if not requests:
         return {}
     if jobs is None or jobs < 1:
         jobs = os.cpu_count() or 1
     batches = _batches_by_trace(requests)
+    registry = get_registry()
     results: Dict[RunRequest, SimulationReport] = {}
     context = multiprocessing.get_context()
-    with context.Pool(
-        processes=min(jobs, len(batches)), initializer=_worker_init
-    ) as pool:
-        for pairs in pool.imap_unordered(_run_batch, batches):
+    try:
+        pool = context.Pool(
+            processes=min(jobs, len(batches)),
+            initializer=_worker_init,
+            initargs=(registry.enabled,),
+        )
+    except (OSError, PermissionError, ValueError) as exc:
+        warnings.warn(
+            f"multiprocessing pool failed to start ({type(exc).__name__}: "
+            f"{exc}); falling back to the serial backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _execute_serial(requests)
+    with pool:
+        for pairs, snapshot in pool.imap_unordered(_run_batch, batches):
+            registry.merge(snapshot)
             for request, report in pairs:
                 results[request] = report
     return results

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Optional
 
 from repro.isa.branches import BranchKind
 from repro.metrics.counters import SimulationCounters
+from repro.telemetry.manifest import RunManifest
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,10 @@ class SimulationReport:
     #: run provenance, attached by the harness runner; wall time and
     #: worker pid vary run to run, so it never participates in equality
     meta: Optional[RunMetadata] = field(default=None, compare=False)
+    #: environment + cost manifest (git SHA, interpreter, trace key,
+    #: wall/CPU time, peak RSS), attached by the harness runner; like
+    #: ``meta`` it varies run to run and never participates in equality
+    manifest: Optional[RunManifest] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,254 @@
+"""Standardised benchmark runs and the perf regression gate.
+
+``python -m repro.harness bench`` drives this module: it times the two
+workloads the repo's perf story hinges on —
+
+* **engine** — raw fetch-engine throughput (events and instructions
+  simulated per second) for one representative configuration of each
+  front-end family, the same shape as
+  ``benchmarks/bench_engine_throughput.py``;
+* **sweep** — a pooled, deduplicated multi-figure run plan executed on
+  the serial and process backends, the same shape as
+  ``benchmarks/bench_sweep_parallel.py``;
+
+and emits each as a schema-versioned payload (``repro-bench/v1``)
+written atomically to ``BENCH_engine.json`` / ``BENCH_sweep.json``.
+Every payload embeds a :class:`~repro.telemetry.manifest.RunManifest`,
+so a benchmark number is never divorced from the revision and machine
+that produced it.
+
+:func:`gate` implements ``bench --gate BASELINE.json``: every
+throughput metric in the baseline (keys ending ``_per_s``, higher is
+better) must be within ``tolerance`` of the current run — a current
+value below ``baseline × (1 - tolerance)`` is a regression, as is a
+metric that disappeared.  Extra metrics in the current payload are
+ignored, so baselines age gracefully as benchmarks grow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry import manifest as manifest_module
+
+#: benchmark payload schema version
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: default benchmark artifact filenames (written at the repo root)
+ENGINE_BENCH_FILE = "BENCH_engine.json"
+SWEEP_BENCH_FILE = "BENCH_sweep.json"
+
+#: one representative configuration per front-end family
+ENGINE_FRONTENDS: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("btb", {"entries": 128}),
+    ("nls-table", {"entries": 1024}),
+    ("nls-cache", {}),
+    ("johnson", {}),
+)
+
+#: full / smoke trace budgets for the engine benchmark
+ENGINE_INSTRUCTIONS = 150_000
+ENGINE_INSTRUCTIONS_SMOKE = 15_000
+
+#: full / smoke shapes for the sweep benchmark
+SWEEP_PROGRAMS: Tuple[str, ...] = ("li", "doduc")
+SWEEP_PROGRAMS_SMOKE: Tuple[str, ...] = ("li",)
+SWEEP_INSTRUCTIONS = 60_000
+SWEEP_INSTRUCTIONS_SMOKE = 8_000
+SWEEP_GRID: Tuple[Tuple[int, int], ...] = ((8, 1), (16, 1), (16, 4))
+SWEEP_GRID_SMOKE: Tuple[Tuple[int, int], ...] = ((8, 1), (16, 1))
+
+
+def _payload(kind: str, results: Dict[str, Dict[str, float]], **extra) -> Dict[str, Any]:
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": kind,
+        "manifest": manifest_module.collect(
+            config_label=f"bench-{kind}", extra=extra or None
+        ).to_dict(),
+        "results": results,
+    }
+
+
+def bench_engine(
+    instructions: int = ENGINE_INSTRUCTIONS,
+    program: str = "gcc",
+    repeats: int = 3,
+    frontends: Sequence[Tuple[str, Dict[str, Any]]] = ENGINE_FRONTENDS,
+) -> Dict[str, Any]:
+    """Time the fetch-engine hot loop per front-end family.
+
+    Each configuration simulates the same memoised *program* trace;
+    the best (minimum) wall time of *repeats* rounds is reported,
+    converted to events/s and instructions/s.
+    """
+    from repro.harness.config import ArchitectureConfig
+    from repro.workloads.corpus import generate_trace
+
+    trace = generate_trace(program, instructions=instructions)
+    events = len(trace.starts)
+    results: Dict[str, Dict[str, float]] = {}
+    for frontend, kwargs in frontends:
+        config = ArchitectureConfig(frontend=frontend, cache_kb=16, **kwargs)
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            engine = config.build()
+            started = time.perf_counter()
+            engine.run(trace)
+            best = min(best, time.perf_counter() - started)
+        results[frontend] = {
+            "wall_s": best,
+            "events_per_s": events / best,
+            "instructions_per_s": trace.n_instructions / best,
+        }
+    return _payload(
+        "engine", results, program=program, instructions=instructions, events=events
+    )
+
+
+def bench_sweep(
+    programs: Sequence[str] = SWEEP_PROGRAMS,
+    instructions: int = SWEEP_INSTRUCTIONS,
+    cache_grid: Sequence[Tuple[int, int]] = SWEEP_GRID,
+    jobs: Optional[int] = None,
+    figures: Sequence[str] = ("fig4", "fig5", "fig8"),
+) -> Dict[str, Any]:
+    """Time a pooled multi-figure run plan on both executor backends.
+
+    Reports per-backend wall time and cell throughput plus the
+    cross-figure dedup saving; the two backends' reports are checked
+    for equality so a throughput win can never hide a correctness
+    drift.
+    """
+    from repro.harness.experiments import SPECS
+    from repro.harness.runner import RunPlan
+    from repro.workloads.corpus import clear_cache
+
+    plan = RunPlan()
+    for name in figures:
+        cells = SPECS[name].plan(
+            programs=tuple(programs),
+            instructions=instructions,
+            cache_grid=tuple(cache_grid),
+        ).cells
+        plan.add_all(cells)
+
+    clear_cache()
+    started = time.perf_counter()
+    serial = RunPlan(plan.requests).execute(backend="serial")
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = RunPlan(plan.requests).execute(backend="process", jobs=jobs)
+    process_wall = time.perf_counter() - started
+
+    if serial != parallel:
+        raise RuntimeError("serial and process backends disagreed on reports")
+
+    results = {
+        "serial": {
+            "wall_s": serial_wall,
+            "cells_per_s": plan.unique / serial_wall,
+        },
+        "process": {
+            "wall_s": process_wall,
+            "cells_per_s": plan.unique / process_wall,
+        },
+    }
+    return _payload(
+        "sweep",
+        results,
+        programs=list(programs),
+        instructions=instructions,
+        figures=list(figures),
+        cells_requested=plan.requested,
+        cells_unique=plan.unique,
+        speedup=serial_wall / process_wall if process_wall else 0.0,
+    )
+
+
+def run_bench_suite(
+    smoke: bool = False, jobs: Optional[int] = None
+) -> Dict[str, Dict[str, Any]]:
+    """Run both standard benchmarks; ``smoke`` shrinks every budget so
+    the suite finishes in seconds (CI and tests)."""
+    engine = bench_engine(
+        instructions=ENGINE_INSTRUCTIONS_SMOKE if smoke else ENGINE_INSTRUCTIONS,
+        repeats=1 if smoke else 3,
+    )
+    sweep = bench_sweep(
+        programs=SWEEP_PROGRAMS_SMOKE if smoke else SWEEP_PROGRAMS,
+        instructions=SWEEP_INSTRUCTIONS_SMOKE if smoke else SWEEP_INSTRUCTIONS,
+        cache_grid=SWEEP_GRID_SMOKE if smoke else SWEEP_GRID,
+        jobs=jobs,
+    )
+    return {"engine": engine, "sweep": sweep}
+
+
+def write_bench(payload: Dict[str, Any], path: str) -> str:
+    """Atomically write a benchmark *payload* as pretty JSON (temp
+    file + ``os.replace``); returns *path*."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    temp = f"{path}.tmp.{os.getpid()}"
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp, path)
+    return path
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Read a benchmark payload back, validating its schema stamp."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} (expected {BENCH_SCHEMA!r})"
+        )
+    return payload
+
+
+def gate(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.10,
+) -> List[str]:
+    """Compare *current* against *baseline*; returns the violations.
+
+    Every ``*_per_s`` metric of every baseline result entry must
+    satisfy ``current >= baseline × (1 - tolerance)``; a missing entry
+    or metric is itself a violation.  An empty return means the gate
+    passes.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    violations: List[str] = []
+    current_results = current.get("results", {})
+    for label in sorted(baseline.get("results", {})):
+        base_metrics = baseline["results"][label]
+        cur_metrics = current_results.get(label)
+        if cur_metrics is None:
+            violations.append(f"{label}: missing from current benchmark results")
+            continue
+        for metric in sorted(base_metrics):
+            if not metric.endswith("_per_s"):
+                continue
+            base_value = base_metrics[metric]
+            cur_value = cur_metrics.get(metric)
+            if cur_value is None:
+                violations.append(f"{label}.{metric}: missing from current results")
+                continue
+            floor = base_value * (1.0 - tolerance)
+            if cur_value < floor:
+                slowdown = 100.0 * (1.0 - cur_value / base_value)
+                violations.append(
+                    f"{label}.{metric}: {cur_value:,.0f} < floor {floor:,.0f} "
+                    f"({slowdown:.1f}% below baseline {base_value:,.0f})"
+                )
+    return violations

@@ -1,0 +1,308 @@
+"""Structured instrumentation: counters, timers, spans and registries.
+
+The telemetry substrate every hot layer reports through (engine,
+runner, corpus, CLI — see DESIGN.md §10).  Design constraints:
+
+* **zero cost when disabled** — a disabled :class:`Registry` hands out
+  shared null objects whose methods are no-ops and allocates nothing,
+  so instrumented code paths never need an ``if telemetry:`` guard of
+  their own and the engine hot loop is untouched (the engine derives
+  its per-phase counts from aggregates it keeps anyway);
+* **picklable snapshots** — a registry serialises to a plain dict so
+  process-pool workers can ship their measurements back to the parent,
+  which merges them (counters/timers add, spans concatenate);
+* **one event schema** — :meth:`Registry.events` renders everything as
+  flat dicts (``{"event": "counter"|"timer"|"span", ...}``) that any
+  :mod:`repro.telemetry.sinks` sink can persist.
+
+A module-level *active* registry (default: disabled) lets deeply
+nested code emit telemetry without threading a registry argument
+through every call chain; :func:`use` installs an enabled registry for
+a scope, and pool-worker initialisers install one per process.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: event-schema version stamped on every rendered event
+EVENT_SCHEMA = "repro-telemetry/v1"
+
+
+class Counter:
+    """A named monotonically growing integer (e.g. cache probes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter by *amount* (default 1)."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Timer:
+    """Accumulated wall time over any number of timed intervals."""
+
+    __slots__ = ("name", "total_s", "count")
+
+    def __init__(self, name: str, total_s: float = 0.0, count: int = 0) -> None:
+        self.name = name
+        self.total_s = total_s
+        self.count = count
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager adding the enclosed duration to the total."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.total_s += time.perf_counter() - started
+            self.count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timer({self.name!r}, {self.total_s:.6f}s/{self.count})"
+
+
+class Span:
+    """One timed, tagged interval recorded as a discrete event.
+
+    Unlike a :class:`Timer` (which aggregates), every completed span
+    is kept individually — tags carry the identity of what was timed
+    (config label, program, backend, ...), which is what per-cell
+    attribution needs.
+    """
+
+    __slots__ = ("name", "tags", "duration_s", "_registry", "_started")
+
+    def __init__(self, name: str, registry: "Registry", tags: Dict[str, Any]) -> None:
+        self.name = name
+        self.tags = tags
+        self.duration_s = 0.0
+        self._registry = registry
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.duration_s = time.perf_counter() - self._started
+        self._registry._record_span(self)
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def add(self, amount: int = 1) -> None:
+        """Discard the increment."""
+
+
+class _NullTimer:
+    """Shared no-op timer handed out by disabled registries."""
+
+    __slots__ = ()
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Time nothing."""
+        yield
+
+
+class _NullSpan:
+    """Shared no-op span handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_TIMER = _NullTimer()
+_NULL_SPAN = _NullSpan()
+
+
+class Registry:
+    """One run's worth of counters, timers and spans.
+
+    Disabled registries (``enabled=False``, the default for the
+    module-level active registry) return the shared null instruments:
+    no allocation, no branching at the instrumentation site, nothing
+    recorded.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._spans: List[Span] = []
+
+    # -- instruments ---------------------------------------------------
+
+    def counter(self, name: str):
+        """The named counter (created on first use; null if disabled)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def timer(self, name: str):
+        """The named timer (created on first use; null if disabled)."""
+        if not self.enabled:
+            return _NULL_TIMER
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = Timer(name)
+        return timer
+
+    def span(self, name: str, **tags):
+        """A new span context manager (null if disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(name, self, tags)
+
+    def _record_span(self, span: Span) -> None:
+        self._spans.append(span)
+
+    # -- read-out ------------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counter values by name (sorted, for deterministic output)."""
+        return {name: self._counters[name].value for name in sorted(self._counters)}
+
+    @property
+    def timers(self) -> Dict[str, Dict[str, float]]:
+        """Timer totals by name (sorted)."""
+        return {
+            name: {
+                "total_s": self._timers[name].total_s,
+                "count": self._timers[name].count,
+            }
+            for name in sorted(self._timers)
+        }
+
+    @property
+    def spans(self) -> List[Span]:
+        """Completed spans in recording order."""
+        return list(self._spans)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable dict of everything recorded (the merge currency)."""
+        return {
+            "counters": self.counters,
+            "timers": self.timers,
+            "spans": [
+                {
+                    "name": span.name,
+                    "duration_s": span.duration_s,
+                    "tags": dict(span.tags),
+                }
+                for span in self._spans
+            ],
+        }
+
+    def merge(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker's :meth:`snapshot` into this registry:
+        counters and timers add, spans concatenate."""
+        if not snapshot or not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, totals in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.total_s += totals["total_s"]
+            timer.count += totals["count"]
+        for recorded in snapshot.get("spans", []):
+            span = Span(recorded["name"], self, dict(recorded["tags"]))
+            span.duration_s = recorded["duration_s"]
+            self._spans.append(span)
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """Render everything recorded as flat, sink-ready event dicts."""
+        for name, value in self.counters.items():
+            yield {
+                "schema": EVENT_SCHEMA,
+                "event": "counter",
+                "name": name,
+                "value": value,
+            }
+        for name, totals in self.timers.items():
+            yield {
+                "schema": EVENT_SCHEMA,
+                "event": "timer",
+                "name": name,
+                "total_s": totals["total_s"],
+                "count": totals["count"],
+            }
+        for span in self._spans:
+            yield {
+                "schema": EVENT_SCHEMA,
+                "event": "span",
+                "name": span.name,
+                "duration_s": span.duration_s,
+                "tags": dict(span.tags),
+            }
+
+    def emit(self, sink) -> int:
+        """Write every rendered event to *sink*; returns the count."""
+        emitted = 0
+        for event in self.events():
+            sink.write(event)
+            emitted += 1
+        return emitted
+
+    def summary(self) -> str:
+        """One compact human-readable line per counter/timer."""
+        lines = [f"{name}={value}" for name, value in self.counters.items()]
+        lines += [
+            f"{name}={totals['total_s']:.3f}s/{totals['count']}"
+            for name, totals in self.timers.items()
+        ]
+        lines.append(f"spans={len(self._spans)}")
+        return " ".join(lines)
+
+
+#: the process-wide active registry; disabled by default so the
+#: instrumented hot paths cost nothing unless a caller opts in
+_ACTIVE = Registry(enabled=False)
+
+
+def get_registry() -> Registry:
+    """The currently active registry (disabled singleton by default)."""
+    return _ACTIVE
+
+
+def set_registry(registry: Registry) -> Registry:
+    """Install *registry* as the active one; returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+@contextmanager
+def use(registry: Registry) -> Iterator[Registry]:
+    """Scope *registry* as the active one, restoring the previous on
+    exit (exception-safe)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

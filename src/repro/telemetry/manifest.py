@@ -1,0 +1,111 @@
+"""Run manifests: the provenance record attached to every report.
+
+A :class:`RunManifest` answers "what exactly produced this number?"
+for any simulation cell: the repository revision, interpreter and
+platform, the configuration label and fully resolved trace key, and
+what the run cost (wall time, CPU time, peak RSS).  The harness runner
+stamps one onto every :class:`~repro.metrics.report.SimulationReport`,
+and :mod:`repro.harness.export` serialises it into every JSON export,
+so results files are self-describing.
+
+Everything here is stdlib-only and cheap: the git SHA is resolved once
+per process (cached), peak RSS comes from ``resource.getrusage`` where
+available (0 on platforms without it), and the dataclass is picklable
+so manifests cross process-pool boundaries intact.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import platform as platform_module
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: manifest-schema version stamped on every manifest
+MANIFEST_SCHEMA = "repro-manifest/v1"
+
+
+@functools.lru_cache(maxsize=1)
+def git_sha() -> str:
+    """The repository HEAD SHA, or ``"unknown"`` outside a checkout
+    (resolved once per process)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def peak_rss_kb() -> int:
+    """Peak resident-set size of this process in KiB (0 if the
+    platform exposes no ``getrusage``)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance + cost record of one simulation (or benchmark) run."""
+
+    schema: str = MANIFEST_SCHEMA
+    git_sha: str = "unknown"
+    python: str = ""
+    platform: str = ""
+    config_label: str = ""
+    program: str = ""
+    trace_key: Tuple = ()
+    wall_time_s: float = 0.0
+    cpu_time_s: float = 0.0
+    peak_rss_kb: int = 0
+    pid: int = 0
+    extra: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON serialisation (trace key becomes a
+        list, ``extra`` is elided when empty)."""
+        payload = asdict(self)
+        payload["trace_key"] = list(self.trace_key)
+        if not payload["extra"]:
+            payload.pop("extra")
+        return payload
+
+
+def collect(
+    config_label: str = "",
+    program: str = "",
+    trace_key: Tuple = (),
+    wall_time_s: float = 0.0,
+    cpu_time_s: float = 0.0,
+    extra: Optional[Dict[str, Any]] = None,
+) -> RunManifest:
+    """Build a manifest for the current process and the given run."""
+    return RunManifest(
+        git_sha=git_sha(),
+        python=platform_module.python_version(),
+        platform=f"{platform_module.system()}-{platform_module.machine()}",
+        config_label=config_label,
+        program=program,
+        trace_key=tuple(trace_key),
+        wall_time_s=wall_time_s,
+        cpu_time_s=cpu_time_s,
+        peak_rss_kb=peak_rss_kb(),
+        pid=os.getpid(),
+        extra=dict(extra) if extra else None,
+    )

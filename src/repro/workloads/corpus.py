@@ -24,6 +24,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional, Tuple
 
+from repro.telemetry.core import get_registry
 from repro.workloads.generator import build_program
 from repro.workloads.interpreter import execute
 from repro.workloads.profiles import get_profile
@@ -87,19 +88,26 @@ def generate_trace(
     either way it is multiplied by ``REPRO_TRACE_SCALE``.
     """
     key = trace_key(name, instructions=instructions, seed=seed, layout=layout)
+    registry = get_registry()
     trace = _CACHE.get(key)
     if trace is None:
+        registry.counter("corpus.trace_cache_misses").add()
         profile = get_profile(name)
         _, budget, effective_seed, _ = key
-        program = build_program(profile, layout=layout, seed=effective_seed)
-        trace = execute(
-            program,
-            budget,
-            seed=effective_seed + 1,
-            name=name,
-            profile_indirect_repeat=profile.indirect_repeat,
-        )
+        with registry.span(
+            "corpus.generate_trace", program=name, instructions=budget
+        ):
+            program = build_program(profile, layout=layout, seed=effective_seed)
+            trace = execute(
+                program,
+                budget,
+                seed=effective_seed + 1,
+                name=name,
+                profile_indirect_repeat=profile.indirect_repeat,
+            )
         _CACHE[key] = trace
+    else:
+        registry.counter("corpus.trace_cache_hits").add()
     return trace
 
 

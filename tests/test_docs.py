@@ -24,7 +24,7 @@ class TestReadme:
     def test_advertised_experiments_exist(self):
         text = self.readme()
         for name in re.findall(r"python -m repro\.harness (\S+)", text):
-            if name in ("all", "list"):
+            if name in ("all", "list", "bench"):
                 continue
             assert name in EXPERIMENTS, name
 
@@ -48,7 +48,7 @@ class TestDesignDoc:
     def test_per_experiment_index_names_exist(self):
         text = (REPO / "DESIGN.md").read_text()
         for name in re.findall(r"`repro\.harness (\S+?)`", text):
-            if name in ("all", "list"):
+            if name in ("all", "list", "bench"):
                 continue
             assert name in EXPERIMENTS, name
 
@@ -108,6 +108,7 @@ class TestLayout:
             "analysis",
             "workloads",
             "harness",
+            "telemetry",
         ):
             assert (REPO / "src" / "repro" / package / "__init__.py").exists()
 

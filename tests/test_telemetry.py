@@ -1,0 +1,499 @@
+"""Telemetry subsystem tests: registry/sinks, NDJSON round-trips,
+manifests, serial↔process merge equivalence, backend robustness, the
+bench payloads + regression gate, and the disabled-overhead guard."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.config import ArchitectureConfig
+from repro.harness.export import to_json
+from repro.harness.runner import (
+    CellExecutionError,
+    RunPlan,
+    RunRequest,
+    _batches_by_trace,
+    _run_batch,
+    simulate,
+)
+from repro.harness.spec import ExperimentResult
+from repro.telemetry import bench as bench_module
+from repro.telemetry import manifest as manifest_module
+from repro.telemetry.core import (
+    Registry,
+    get_registry,
+    set_registry,
+    use,
+)
+from repro.telemetry.sinks import (
+    MemorySink,
+    NDJSONSink,
+    read_events,
+    write_events,
+)
+from repro.workloads.corpus import clear_cache, generate_trace
+
+TINY = 4_000
+
+
+# ---------------------------------------------------------------------------
+# core: counters, timers, spans, registries
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = Registry()
+        registry.counter("x").add()
+        registry.counter("x").add(4)
+        assert registry.counters == {"x": 5}
+
+    def test_timer_accumulates(self):
+        registry = Registry()
+        with registry.timer("t").time():
+            pass
+        with registry.timer("t").time():
+            pass
+        totals = registry.timers["t"]
+        assert totals["count"] == 2
+        assert totals["total_s"] >= 0.0
+
+    def test_span_records_tags_and_duration(self):
+        registry = Registry()
+        with registry.span("work", program="gcc", backend="serial"):
+            pass
+        (span,) = registry.spans
+        assert span.name == "work"
+        assert span.tags == {"program": "gcc", "backend": "serial"}
+        assert span.duration_s >= 0.0
+
+    def test_disabled_registry_hands_out_shared_nulls(self):
+        registry = Registry(enabled=False)
+        assert registry.counter("a") is registry.counter("b")
+        assert registry.timer("a") is registry.timer("b")
+        assert registry.span("a") is registry.span("b")
+        registry.counter("a").add(10)
+        with registry.timer("a").time():
+            pass
+        with registry.span("a"):
+            pass
+        assert registry.counters == {}
+        assert registry.timers == {}
+        assert registry.spans == []
+        assert registry.snapshot() == {"counters": {}, "timers": {}, "spans": []}
+
+    def test_merge_adds_counters_and_concatenates_spans(self):
+        a = Registry()
+        a.counter("n").add(2)
+        with a.span("s", k=1):
+            pass
+        b = Registry()
+        b.counter("n").add(3)
+        b.counter("m").add(1)
+        with b.timer("t").time():
+            pass
+        with b.span("s", k=2):
+            pass
+        a.merge(b.snapshot())
+        assert a.counters == {"m": 1, "n": 5}
+        assert a.timers["t"]["count"] == 1
+        assert len(a.spans) == 2
+        a.merge(None)  # no-op
+        assert a.counters == {"m": 1, "n": 5}
+
+    def test_use_scopes_and_restores_active_registry(self):
+        default = get_registry()
+        scoped = Registry()
+        with use(scoped):
+            assert get_registry() is scoped
+            with pytest.raises(RuntimeError):
+                with use(Registry()):
+                    assert get_registry() is not scoped
+                    raise RuntimeError("boom")
+            assert get_registry() is scoped
+        assert get_registry() is default
+
+    def test_events_render_every_instrument(self):
+        registry = Registry()
+        registry.counter("c").add(7)
+        with registry.timer("t").time():
+            pass
+        with registry.span("s", tag="v"):
+            pass
+        events = list(registry.events())
+        kinds = sorted(event["event"] for event in events)
+        assert kinds == ["counter", "span", "timer"]
+        assert all(event["schema"] == "repro-telemetry/v1" for event in events)
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+
+class TestSinks:
+    def _registry(self) -> Registry:
+        registry = Registry()
+        registry.counter("hits").add(3)
+        with registry.span("gen", program="li"):
+            pass
+        return registry
+
+    def test_memory_sink_collects_all_events(self):
+        registry = self._registry()
+        sink = MemorySink()
+        emitted = registry.emit(sink)
+        assert emitted == len(sink.events) == 2
+
+    def test_ndjson_round_trip(self, tmp_path):
+        registry = self._registry()
+        path = str(tmp_path / "events.ndjson")
+        with NDJSONSink(path) as sink:
+            registry.emit(sink)
+        assert read_events(path) == list(registry.events())
+
+    def test_write_events_is_atomic_and_round_trips(self, tmp_path):
+        registry = self._registry()
+        path = str(tmp_path / "dump.ndjson")
+        count = write_events(path, registry.events())
+        assert count == 2
+        assert read_events(path) == list(registry.events())
+        assert [p for p in os.listdir(tmp_path) if ".tmp." in p] == []
+
+    def test_ndjson_rotation_preserves_every_event(self, tmp_path):
+        path = str(tmp_path / "rot.ndjson")
+        events = [
+            {"event": "counter", "name": f"c{i}", "value": i} for i in range(20)
+        ]
+        with NDJSONSink(path, max_bytes=120, backups=30) as sink:
+            for event in events:
+                sink.write(event)
+        recovered = []
+        generations = sorted(
+            (p for p in os.listdir(tmp_path) if p.startswith("rot.ndjson.")),
+            key=lambda p: -int(p.rsplit(".", 1)[1]),
+        )
+        for name in generations:
+            recovered.extend(read_events(str(tmp_path / name)))
+        recovered.extend(read_events(path))
+        assert recovered == events
+
+    def test_ndjson_rotation_drops_oldest_beyond_backups(self, tmp_path):
+        path = str(tmp_path / "cap.ndjson")
+        with NDJSONSink(path, max_bytes=60, backups=2) as sink:
+            for i in range(30):
+                sink.write({"event": "counter", "name": "x", "value": i})
+        files = sorted(p for p in os.listdir(tmp_path) if p.startswith("cap"))
+        assert files == ["cap.ndjson", "cap.ndjson.1", "cap.ndjson.2"]
+
+    def test_ndjson_sink_validates_arguments(self, tmp_path):
+        with pytest.raises(ValueError):
+            NDJSONSink(str(tmp_path / "x"), max_bytes=0)
+        with pytest.raises(ValueError):
+            NDJSONSink(str(tmp_path / "x"), backups=0)
+
+
+# ---------------------------------------------------------------------------
+# manifests
+# ---------------------------------------------------------------------------
+
+
+class TestManifest:
+    def test_collect_fills_environment_fields(self):
+        manifest = manifest_module.collect(
+            config_label="cfg", program="li", trace_key=("li", 1, 2, "natural")
+        )
+        assert manifest.schema == manifest_module.MANIFEST_SCHEMA
+        assert manifest.git_sha == "unknown" or len(manifest.git_sha) == 40
+        assert manifest.python.count(".") == 2
+        assert manifest.platform
+        assert manifest.peak_rss_kb >= 0
+        assert manifest.pid == os.getpid()
+        payload = manifest.to_dict()
+        assert payload["trace_key"] == ["li", 1, 2, "natural"]
+        assert "extra" not in payload
+
+    def test_reports_carry_a_manifest(self):
+        config = ArchitectureConfig(frontend="nls-table", entries=64, cache_kb=8)
+        report = simulate(config, "li", instructions=TINY)
+        manifest = report.manifest
+        assert manifest is not None
+        assert manifest.config_label == config.label()
+        assert manifest.program == "li"
+        assert manifest.trace_key[0] == "li"
+        assert manifest.wall_time_s > 0.0
+        assert manifest.cpu_time_s >= 0.0
+
+    def test_manifest_survives_json_export(self):
+        config = ArchitectureConfig(frontend="btb", entries=32, cache_kb=8)
+        report = simulate(config, "li", instructions=TINY)
+        result = ExperimentResult(
+            name="probe", title="probe", text="", data={"report": report}
+        )
+        payload = json.loads(to_json(result))
+        manifest = payload["data"]["report"]["manifest"]
+        for key in (
+            "schema",
+            "git_sha",
+            "python",
+            "platform",
+            "config_label",
+            "trace_key",
+            "wall_time_s",
+            "cpu_time_s",
+            "peak_rss_kb",
+        ):
+            assert key in manifest, key
+
+
+# ---------------------------------------------------------------------------
+# runner integration: spans, merge equivalence, robustness
+# ---------------------------------------------------------------------------
+
+
+def _small_plan() -> RunPlan:
+    plan = RunPlan()
+    for frontend, kwargs in (("btb", {"entries": 32}), ("nls-table", {"entries": 64})):
+        for program in ("li", "espresso"):
+            plan.add(
+                RunRequest(
+                    config=ArchitectureConfig(frontend=frontend, cache_kb=8, **kwargs),
+                    program=program,
+                    instructions=TINY,
+                )
+            )
+    return plan
+
+
+class TestRunnerTelemetry:
+    def test_serial_run_records_cell_spans_and_engine_counters(self):
+        clear_cache()
+        plan = _small_plan()
+        with use(Registry()) as registry:
+            plan.execute(backend="serial")
+        counters = registry.counters
+        assert counters["runner.cells"] == plan.unique
+        assert counters["corpus.trace_cache_misses"] == 2
+        assert counters["corpus.trace_cache_hits"] == plan.unique - 2
+        assert counters["engine.blocks_decoded"] > 0
+        assert counters["engine.frontend_predicts"] > 0
+        assert counters["engine.icache_probes"] > 0
+        cell_spans = [s for s in registry.spans if s.name == "runner.cell"]
+        assert len(cell_spans) == plan.unique
+        assert {s.tags["program"] for s in cell_spans} == {"li", "espresso"}
+
+    def test_serial_and_process_telemetry_merge_equivalently(self):
+        plan = _small_plan()
+
+        clear_cache()
+        with use(Registry()) as serial_registry:
+            serial_reports = RunPlan(plan.requests).execute(backend="serial")
+
+        clear_cache()
+        with use(Registry()) as process_registry:
+            process_reports = RunPlan(plan.requests).execute(
+                backend="process", jobs=2
+            )
+
+        assert serial_reports == process_reports
+        assert serial_registry.counters == process_registry.counters
+        serial_spans = sorted(
+            (s.name, s.tags.get("program", "")) for s in serial_registry.spans
+        )
+        process_spans = sorted(
+            (s.name, s.tags.get("program", "")) for s in process_registry.spans
+        )
+        assert serial_spans == process_spans
+
+    def test_disabled_telemetry_records_nothing(self):
+        clear_cache()
+        assert not get_registry().enabled
+        _small_plan().execute(backend="serial")
+        assert get_registry().counters == {}
+
+
+class TestBackendRobustness:
+    def test_batches_are_sorted_by_trace_key(self):
+        plan = _small_plan()
+        requests = list(plan.requests)
+        batches_forward = _batches_by_trace(requests)
+        batches_reversed = _batches_by_trace(list(reversed(requests)))
+        keys_forward = [b[0].resolved_trace_key() for b in batches_forward]
+        keys_reversed = [b[0].resolved_trace_key() for b in batches_reversed]
+        assert keys_forward == sorted(keys_forward)
+        assert keys_forward == keys_reversed
+
+    def test_worker_failure_names_the_offending_cell(self):
+        bad = RunRequest(
+            config=ArchitectureConfig(frontend="btb", entries=32, cache_kb=8),
+            program="li",
+            instructions=TINY,
+            seed=99,
+            warmup=1.5,  # engine rejects warmup outside [0, 1)
+        )
+        with pytest.raises(CellExecutionError) as excinfo:
+            _run_batch([bad])
+        message = str(excinfo.value)
+        assert "program='li'" in message
+        assert "seed=99" in message
+        assert "btb" in message
+
+    def test_cell_execution_error_survives_pickling(self):
+        import pickle
+
+        error = CellExecutionError("cell failed: config='x' program='li'")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, CellExecutionError)
+        assert str(clone) == str(error)
+
+    def test_pool_start_failure_falls_back_to_serial(self, monkeypatch):
+        import repro.harness.runner as runner_module
+
+        class _BrokenContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(
+            runner_module.multiprocessing, "get_context", lambda: _BrokenContext()
+        )
+        clear_cache()
+        plan = _small_plan()
+        with pytest.warns(RuntimeWarning, match="falling back to the serial"):
+            reports = plan.execute(backend="process", jobs=2)
+        assert len(reports) == plan.unique
+        assert all(r.meta.backend == "serial" for r in reports.values())
+
+
+# ---------------------------------------------------------------------------
+# bench payloads + regression gate
+# ---------------------------------------------------------------------------
+
+
+class TestBench:
+    def _engine_payload(self):
+        return bench_module.bench_engine(
+            instructions=TINY,
+            repeats=1,
+            frontends=(("btb", {"entries": 32}),),
+        )
+
+    def test_engine_payload_is_schema_versioned(self):
+        payload = self._engine_payload()
+        assert payload["schema"] == bench_module.BENCH_SCHEMA
+        assert payload["kind"] == "engine"
+        assert payload["manifest"]["schema"] == manifest_module.MANIFEST_SCHEMA
+        metrics = payload["results"]["btb"]
+        assert metrics["events_per_s"] > 0
+        assert metrics["instructions_per_s"] > 0
+        assert metrics["wall_s"] > 0
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        payload = self._engine_payload()
+        path = bench_module.write_bench(payload, str(tmp_path / "BENCH_engine.json"))
+        assert bench_module.load_bench(path) == json.loads(
+            json.dumps(payload)
+        )
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/v9", "results": {}}')
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            bench_module.load_bench(str(path))
+
+    def test_gate_passes_identical_results(self):
+        payload = self._engine_payload()
+        assert bench_module.gate(payload, payload, tolerance=0.10) == []
+
+    def test_gate_flags_injected_slowdown(self):
+        payload = self._engine_payload()
+        baseline = json.loads(json.dumps(payload))
+        for metrics in baseline["results"].values():
+            metrics["events_per_s"] *= 1.25  # current is >=10% below this
+        violations = bench_module.gate(payload, baseline, tolerance=0.10)
+        assert violations and "btb.events_per_s" in violations[0]
+
+    def test_gate_tolerates_small_slowdown(self):
+        payload = self._engine_payload()
+        baseline = json.loads(json.dumps(payload))
+        for metrics in baseline["results"].values():
+            metrics["events_per_s"] *= 1.05  # within the 10% band
+        assert bench_module.gate(payload, baseline, tolerance=0.10) == []
+
+    def test_gate_flags_missing_entries_and_metrics(self):
+        payload = self._engine_payload()
+        baseline = json.loads(json.dumps(payload))
+        baseline["results"]["vanished"] = {"events_per_s": 1.0}
+        violations = bench_module.gate(payload, baseline, tolerance=0.10)
+        assert any("vanished" in violation for violation in violations)
+
+    def test_gate_validates_tolerance(self):
+        payload = self._engine_payload()
+        with pytest.raises(ValueError):
+            bench_module.gate(payload, payload, tolerance=1.5)
+
+
+class TestBenchCLI:
+    def test_bench_writes_artifacts_and_gate_gates(self, tmp_path):
+        bench_dir = str(tmp_path)
+        assert cli_main(["bench", "--smoke", "--bench-dir", bench_dir]) == 0
+        engine_path = os.path.join(bench_dir, "BENCH_engine.json")
+        sweep_path = os.path.join(bench_dir, "BENCH_sweep.json")
+        for path in (engine_path, sweep_path):
+            payload = bench_module.load_bench(path)
+            assert payload["schema"] == bench_module.BENCH_SCHEMA
+            assert payload["manifest"]["python"]
+        # identical baseline: the gate passes
+        assert (
+            cli_main(
+                ["bench", "--smoke", "--bench-dir", bench_dir, "--gate", engine_path]
+            )
+            == 0
+        )
+        # inflate the baseline ≥10%: the gate must fail non-zero
+        baseline = bench_module.load_bench(engine_path)
+        for metrics in baseline["results"].values():
+            metrics["events_per_s"] *= 10.0
+        bad = str(tmp_path / "baseline_bad.json")
+        bench_module.write_bench(baseline, bad)
+        assert (
+            cli_main(["bench", "--smoke", "--bench-dir", bench_dir, "--gate", bad])
+            == 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# overhead guard: disabled telemetry must not slow the engine hot loop
+# ---------------------------------------------------------------------------
+
+
+class TestOverheadGuard:
+    def test_disabled_telemetry_engine_overhead_under_5_percent(self):
+        assert not get_registry().enabled
+        trace = generate_trace("li", instructions=60_000)
+        config = ArchitectureConfig(frontend="nls-table", entries=1024, cache_kb=16)
+
+        def timed(callable_):
+            best = float("inf")
+            for _ in range(5):
+                engine = config.build()
+                started = time.perf_counter()
+                callable_(engine)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        # the raw hot loop, bypassing the instrumented run() wrapper
+        bare = timed(lambda engine: engine._simulate(trace))
+        # the instrumented entry point with telemetry disabled
+        instrumented = timed(lambda engine: engine.run(trace))
+        overhead = instrumented / bare - 1.0
+        # < 5% guard, plus a tiny absolute allowance for report
+        # construction so a sub-millisecond blip cannot flake the suite
+        assert instrumented <= bare * 1.05 + 2e-3, (
+            f"disabled-telemetry overhead {overhead:.1%} exceeds 5% "
+            f"(bare {bare:.4f}s vs instrumented {instrumented:.4f}s)"
+        )
