@@ -1,5 +1,8 @@
 """Analysis tools layered on top of the simulator.
 
+* :mod:`repro.analysis.attribution` — per-static-site cause profiles:
+  fold an engine's attribution snapshot into ranked hot-offender
+  tables with an exact BEP decomposition (DESIGN.md §11);
 * :mod:`repro.analysis.breakdown` — per-branch-kind penalty
   attribution (which kinds pay misfetch vs mispredict cycles);
 * :mod:`repro.analysis.capacity` — structure-capacity curves (BTB hit
@@ -9,11 +12,23 @@
   penalties change with pipeline depth.
 """
 
+from repro.analysis.attribution import (
+    AttributionProfile,
+    SiteProfile,
+    conservation_errors,
+    fold_attribution,
+    render_markdown,
+)
 from repro.analysis.breakdown import penalty_breakdown
 from repro.analysis.capacity import btb_capacity_curve, nls_capacity_curve
 from repro.analysis.sensitivity import penalty_sensitivity
 
 __all__ = [
+    "AttributionProfile",
+    "SiteProfile",
+    "conservation_errors",
+    "fold_attribution",
+    "render_markdown",
     "penalty_breakdown",
     "btb_capacity_curve",
     "nls_capacity_curve",

@@ -1,0 +1,339 @@
+"""Per-static-branch-site attribution profiles (DESIGN.md §11).
+
+The fetch engine's :class:`~repro.fetch.attribution.AttributionCollector`
+records *which* cause each penalty event had and *which* static branch
+site paid it.  This module folds that snapshot into the analyst-facing
+view: a ranked table of the hottest offender sites — the handful of
+static branches responsible for most of the BEP — with each site's
+cause split, taken rate and simulated 2-bit-counter accuracy.
+
+Site BEP contributions are exact shares of the report's BEP: a site
+that misfetched ``mf`` times and mispredicted ``mp`` times out of
+``n_breaks`` counted breaks contributes
+``(mf × misfetch_penalty + mp × mispredict_penalty) / n_breaks``
+cycles per break, and the contributions of all sites sum to the
+report's BEP (the rendered table closes with an ``(other)`` row and a
+total so the decomposition is visibly complete).
+
+:func:`conservation_errors` is the audit used by tests and the CLI: it
+re-checks, from the snapshot alone, that the per-cause totals
+partition the report's misfetch + mispredict aggregates exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fetch.attribution import ATTRIBUTION_SCHEMA, CAUSES
+from repro.isa.branches import BranchKind
+from repro.metrics.report import SimulationReport
+
+#: schema stamped on rendered JSON payloads
+PROFILE_SCHEMA = "repro-attribution-profile/v1"
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """One static branch site's attribution profile."""
+
+    pc: int
+    kind: BranchKind
+    executed: int
+    misfetched: int
+    mispredicted: int
+    taken: int
+    two_bit_hits: int
+    causes: Dict[str, int]
+    #: this site's share of the report's BEP, in cycles per break
+    bep_contribution: float
+
+    @property
+    def taken_rate(self) -> float:
+        """Taken fraction of this site's executions."""
+        return self.taken / self.executed if self.executed else 0.0
+
+    @property
+    def two_bit_accuracy(self) -> Optional[float]:
+        """Accuracy a private 2-bit counter would have had at this
+        site (``None`` for non-conditional kinds)."""
+        if self.kind != BranchKind.CONDITIONAL or not self.executed:
+            return None
+        return self.two_bit_hits / self.executed
+
+    @property
+    def dominant_cause(self) -> Optional[str]:
+        """The cause that charged this site most often."""
+        if not self.causes:
+            return None
+        return max(self.causes, key=lambda cause: (self.causes[cause], cause))
+
+
+@dataclass(frozen=True)
+class AttributionProfile:
+    """A folded attribution snapshot: ranked sites + cause totals."""
+
+    label: str
+    program: str
+    n_breaks: int
+    misfetches: int
+    mispredicts: int
+    bep: float
+    #: per-cause totals over the whole run, every taxonomy member
+    causes: Dict[str, int]
+    #: every observed site, hottest (largest BEP contribution) first
+    sites: Tuple[SiteProfile, ...]
+    top_k: int
+    sample: int
+    gap_histogram: Dict[str, Any]
+    trace: Dict[str, Any]
+
+    @property
+    def top_sites(self) -> Tuple[SiteProfile, ...]:
+        """The ``top_k`` hottest offender sites."""
+        return self.sites[: self.top_k]
+
+    @property
+    def other_bep(self) -> float:
+        """BEP carried by sites below the top-K cut."""
+        return sum(site.bep_contribution for site in self.sites[self.top_k :])
+
+    @property
+    def penalty_events(self) -> int:
+        """Total attributed penalty events."""
+        return sum(self.causes.values())
+
+
+def fold_attribution(report: SimulationReport, top_k: int = 10) -> AttributionProfile:
+    """Fold *report*'s attribution snapshot into a ranked profile.
+
+    Requires the report to have been produced by an engine built with
+    ``attribution=True`` (see
+    :class:`~repro.harness.config.ArchitectureConfig`).
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be positive")
+    snapshot = report.attribution
+    if snapshot is None:
+        raise ValueError(
+            "report carries no attribution snapshot; run with "
+            "ArchitectureConfig(attribution=True)"
+        )
+    if snapshot.get("schema") != ATTRIBUTION_SCHEMA:
+        raise ValueError(f"unexpected attribution schema {snapshot.get('schema')!r}")
+    penalties = report.penalties
+    n_breaks = report.n_breaks
+    sites: List[SiteProfile] = []
+    for pc, stats in snapshot["sites"].items():
+        contribution = 0.0
+        if n_breaks:
+            contribution = (
+                stats["misfetched"] * penalties.misfetch
+                + stats["mispredicted"] * penalties.mispredict
+            ) / n_breaks
+        sites.append(
+            SiteProfile(
+                pc=int(pc),
+                kind=BranchKind(stats["kind"]),
+                executed=stats["executed"],
+                misfetched=stats["misfetched"],
+                mispredicted=stats["mispredicted"],
+                taken=stats["taken"],
+                two_bit_hits=stats["two_bit_hits"],
+                causes=dict(stats["causes"]),
+                bep_contribution=contribution,
+            )
+        )
+    # hottest first; pc breaks ties so the ranking is deterministic
+    sites.sort(key=lambda site: (-site.bep_contribution, site.pc))
+    causes = {cause: snapshot["causes"].get(cause, 0) for cause in CAUSES}
+    return AttributionProfile(
+        label=report.label,
+        program=report.program,
+        n_breaks=n_breaks,
+        misfetches=report.misfetches,
+        mispredicts=report.mispredicts,
+        bep=report.bep,
+        causes=causes,
+        sites=tuple(sites),
+        top_k=top_k,
+        sample=snapshot["sample"],
+        gap_histogram=dict(snapshot["gap_histogram"]),
+        trace=dict(snapshot["trace"]),
+    )
+
+
+def conservation_errors(report: SimulationReport) -> List[str]:
+    """Audit *report*'s attribution snapshot against its aggregates.
+
+    Returns a list of human-readable violations (empty = conservative):
+    the per-cause totals must sum to misfetches + mispredicts exactly,
+    and the per-site tallies must re-derive every aggregate.
+    """
+    snapshot = report.attribution
+    if snapshot is None:
+        return ["report carries no attribution snapshot"]
+    errors: List[str] = []
+    cause_total = sum(snapshot["causes"].values())
+    aggregate = report.misfetches + report.mispredicts
+    if cause_total != aggregate:
+        errors.append(
+            f"cause totals sum to {cause_total}, aggregates say {aggregate}"
+        )
+    unknown = sorted(set(snapshot["causes"]) - set(CAUSES))
+    if unknown:
+        errors.append(f"unknown causes in snapshot: {unknown}")
+    sites = snapshot["sites"].values()
+    site_executed = sum(stats["executed"] for stats in sites)
+    site_misfetched = sum(stats["misfetched"] for stats in sites)
+    site_mispredicted = sum(stats["mispredicted"] for stats in sites)
+    if site_executed != report.n_breaks:
+        errors.append(
+            f"site executions sum to {site_executed}, report counts "
+            f"{report.n_breaks} breaks"
+        )
+    if site_misfetched != report.misfetches:
+        errors.append(
+            f"site misfetches sum to {site_misfetched}, report counts "
+            f"{report.misfetches}"
+        )
+    if site_mispredicted != report.mispredicts:
+        errors.append(
+            f"site mispredicts sum to {site_mispredicted}, report counts "
+            f"{report.mispredicts}"
+        )
+    for pc, stats in snapshot["sites"].items():
+        per_site = sum(stats["causes"].values())
+        penalised = stats["misfetched"] + stats["mispredicted"]
+        if per_site != penalised:
+            errors.append(
+                f"site {pc:#x}: causes sum to {per_site}, "
+                f"outcomes say {penalised}"
+            )
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def cause_table(profile: AttributionProfile) -> str:
+    """Render the per-cause totals as a markdown table."""
+    total = profile.penalty_events
+    lines = [
+        "| cause | events | share |",
+        "| --- | ---: | ---: |",
+    ]
+    for cause in CAUSES:
+        count = profile.causes[cause]
+        share = 100.0 * count / total if total else 0.0
+        lines.append(f"| `{cause}` | {count} | {share:.1f}% |")
+    lines.append(f"| **total** | **{total}** | **100.0%** |" if total else
+                 "| **total** | **0** | — |")
+    return "\n".join(lines)
+
+
+def site_table(profile: AttributionProfile) -> str:
+    """Render the top-K hottest sites as a markdown table.
+
+    The BEP column is a true decomposition: top rows + ``(other)`` +
+    nothing else sum to the report's BEP.
+    """
+    lines = [
+        "| rank | pc | kind | exec | mf | mp | taken | 2-bit | "
+        "dominant cause | BEP cyc/brk |",
+        "| ---: | --- | --- | ---: | ---: | ---: | ---: | ---: | --- | ---: |",
+    ]
+    for rank, site in enumerate(profile.top_sites, start=1):
+        accuracy = site.two_bit_accuracy
+        lines.append(
+            f"| {rank} | `{site.pc:#010x}` | {site.kind.name.lower()} "
+            f"| {site.executed} | {site.misfetched} | {site.mispredicted} "
+            f"| {100 * site.taken_rate:.0f}% "
+            f"| {'—' if accuracy is None else f'{100 * accuracy:.0f}%'} "
+            f"| {site.dominant_cause or '—'} "
+            f"| {site.bep_contribution:.4f} |"
+        )
+    lines.append(
+        f"| | (other: {max(len(profile.sites) - profile.top_k, 0)} sites) "
+        f"| | | | | | | | {profile.other_bep:.4f} |"
+    )
+    lines.append(f"| | **total** | | | | | | | | **{profile.bep:.4f}** |")
+    return "\n".join(lines)
+
+
+def render_markdown(profiles: List[AttributionProfile]) -> str:
+    """Render full attribution profiles as a markdown report."""
+    lines = ["# Fetch-penalty attribution", ""]
+    for profile in profiles:
+        lines.extend(
+            [
+                f"## {profile.label} — {profile.program}",
+                "",
+                f"{profile.n_breaks} counted breaks, "
+                f"{profile.misfetches} misfetches + "
+                f"{profile.mispredicts} mispredicts = "
+                f"{profile.penalty_events} penalty events; "
+                f"BEP = {profile.bep:.4f} cycles/break "
+                f"(event ring sampled 1/{profile.sample}).",
+                "",
+                "### Cause taxonomy",
+                "",
+                cause_table(profile),
+                "",
+                f"### Hottest {min(profile.top_k, len(profile.sites))} sites "
+                f"(of {len(profile.sites)})",
+                "",
+                site_table(profile),
+                "",
+            ]
+        )
+    return "\n".join(lines)
+
+
+def to_payload(profiles: List[AttributionProfile]) -> Dict[str, Any]:
+    """JSON-ready payload mirroring :func:`render_markdown`."""
+    return {
+        "schema": PROFILE_SCHEMA,
+        "profiles": [
+            {
+                "label": profile.label,
+                "program": profile.program,
+                "n_breaks": profile.n_breaks,
+                "misfetches": profile.misfetches,
+                "mispredicts": profile.mispredicts,
+                "bep": profile.bep,
+                "causes": dict(profile.causes),
+                "sample": profile.sample,
+                "gap_histogram": profile.gap_histogram,
+                "trace": profile.trace,
+                "top_sites": [
+                    {
+                        "pc": site.pc,
+                        "kind": site.kind.name,
+                        "executed": site.executed,
+                        "misfetched": site.misfetched,
+                        "mispredicted": site.mispredicted,
+                        "taken": site.taken,
+                        "two_bit_hits": site.two_bit_hits,
+                        "two_bit_accuracy": site.two_bit_accuracy,
+                        "causes": dict(site.causes),
+                        "bep_contribution": site.bep_contribution,
+                    }
+                    for site in profile.top_sites
+                ],
+                "other_bep": profile.other_bep,
+                "n_sites": len(profile.sites),
+            }
+            for profile in profiles
+        ],
+    }
+
+
+def write_payload(path: str, profiles: List[AttributionProfile]) -> None:
+    """Write :func:`to_payload` to *path* as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_payload(profiles), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -41,6 +41,8 @@ class FallThroughWayPredictor:
         cache.add_evict_listener(self._on_evict)
         self.predictions = 0
         self.correct = 0
+        self.cold = 0
+        self.wrong = 0
 
     # ------------------------------------------------------------------
 
@@ -71,12 +73,18 @@ class FallThroughWayPredictor:
         """Book-keep one prediction; returns ``True`` when correct.
 
         ``None`` predictions (cold) are counted as wrong — the hardware
-        would drive a default way and usually miss.
+        would drive a default way and usually miss.  Cold and trained-
+        but-wrong outcomes are tallied separately, mirroring the
+        ``btb-miss`` vs ``nls-wrong-set`` attribution split.
         """
         self.predictions += 1
         hit = predicted == actual
         if hit:
             self.correct += 1
+        elif predicted is None:
+            self.cold += 1
+        else:
+            self.wrong += 1
         return hit
 
     @property

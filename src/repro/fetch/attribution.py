@@ -1,0 +1,241 @@
+"""Mispredict/misfetch cause attribution (DESIGN.md §11).
+
+The paper's headline numbers are aggregates (%MfB, %MpB, BEP), but
+its *arguments* are causal: NLS wins because wrong-line / wrong-set
+errors are cheap misfetches while BTB misses are expensive
+mispredicts.  This module gives every penalty event the fetch engine
+counts exactly one **cause** from a closed taxonomy, so the aggregate
+totals can be decomposed — and the decomposition is *conservative*:
+for any run, the per-cause counts sum to the engine's misfetch +
+mispredict totals exactly (``tests/test_attribution.py`` sweeps
+configurations to enforce it).
+
+The taxonomy (each penalty event gets exactly one):
+
+==========================  ==============================================
+cause                       meaning
+==========================  ==============================================
+``direction-wrong``         conditional direction mispredicted (shared
+                            PHT, or the coupled BTB's / Johnson's
+                            implicit direction bit)
+``btb-miss``                no usable entry in the fetch structure — a
+                            BTB tag miss or an invalid (never-trained)
+                            NLS/Johnson slot — so fetch fell through
+``btb-wrong-target``        a tag hit delivered a stale full target
+                            address (BTB / coupled BTB)
+``nls-wrong-line``          the NLS/Johnson line field points at a
+                            different line (tag-less aliasing or a
+                            moved target)
+``nls-wrong-set``           the target line is resident but not in the
+                            predicted way (stale set field, §4.2)
+``nls-displaced``           the line field is right but the target line
+                            was evicted from the instruction cache (§7)
+``nls-type-mismatch``       a wrong-typed entry steered fetch the wrong
+                            way (e.g. a return-typed alias on a
+                            conditional, or a conditional-typed entry
+                            making an unconditional consult the PHT)
+``ras-mispop``              the return-address stack popped a wrong
+                            address — underflow (empty stack) or a
+                            stale entry after wraparound overwrote it
+==========================  ==============================================
+
+The :class:`AttributionCollector` keeps three views, at three costs:
+
+* **exact** per-cause totals and per-static-site profiles (every
+  observed break updates a small per-``pc`` record, including a
+  simulated per-site 2-bit counter for conditionals);
+* a **log2 histogram** of the gap (in breaks) between consecutive
+  penalty events (bursty vs uniform penalty behaviour);
+* a **sampled ring buffer** (:class:`~repro.telemetry.core.EventTrace`)
+  of structured per-event records — the only sampled piece, which is
+  what keeps attribution cheap enough to leave on for whole sweeps.
+
+Attribution is opt-in per engine (``ArchitectureConfig.attribution``);
+a ``None`` collector costs the hot loop one pointer comparison per
+break, preserving the <5% disabled-telemetry overhead budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.isa.branches import BranchKind
+from repro.telemetry.core import EventTrace, Histogram
+
+#: schema stamped on every collector snapshot
+ATTRIBUTION_SCHEMA = "repro-attribution/v1"
+
+CAUSE_DIRECTION = "direction-wrong"
+CAUSE_FRONTEND_MISS = "btb-miss"
+CAUSE_BTB_WRONG_TARGET = "btb-wrong-target"
+CAUSE_NLS_WRONG_LINE = "nls-wrong-line"
+CAUSE_NLS_WRONG_SET = "nls-wrong-set"
+CAUSE_NLS_DISPLACED = "nls-displaced"
+CAUSE_NLS_TYPE_MISMATCH = "nls-type-mismatch"
+CAUSE_RAS_MISPOP = "ras-mispop"
+
+#: the closed cause taxonomy, in documentation order
+CAUSES = (
+    CAUSE_DIRECTION,
+    CAUSE_FRONTEND_MISS,
+    CAUSE_BTB_WRONG_TARGET,
+    CAUSE_NLS_WRONG_LINE,
+    CAUSE_NLS_WRONG_SET,
+    CAUSE_NLS_DISPLACED,
+    CAUSE_NLS_TYPE_MISMATCH,
+    CAUSE_RAS_MISPOP,
+)
+
+#: outcome codes used in sampled trace records
+OUTCOME_CORRECT = 0
+OUTCOME_MISFETCH = 1
+OUTCOME_MISPREDICT = 2
+
+_CONDITIONAL = int(BranchKind.CONDITIONAL)
+
+
+class SiteStats:
+    """Mutable per-static-branch-site tally (one per ``pc``)."""
+
+    __slots__ = (
+        "kind",
+        "executed",
+        "misfetched",
+        "mispredicted",
+        "taken",
+        "two_bit_hits",
+        "_two_bit",
+        "causes",
+    )
+
+    def __init__(self, kind: int) -> None:
+        self.kind = kind
+        self.executed = 0
+        self.misfetched = 0
+        self.mispredicted = 0
+        self.taken = 0
+        self.two_bit_hits = 0
+        self._two_bit = 1  # weakly not-taken, like the shared PHT
+        self.causes: Dict[str, int] = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Picklable snapshot of this site."""
+        return {
+            "kind": self.kind,
+            "executed": self.executed,
+            "misfetched": self.misfetched,
+            "mispredicted": self.mispredicted,
+            "taken": self.taken,
+            "two_bit_hits": self.two_bit_hits,
+            "causes": dict(self.causes),
+        }
+
+
+class AttributionCollector:
+    """Folds the engine's per-break cause stream into exact per-cause
+    totals, per-site profiles, a penalty-gap histogram and a sampled
+    event ring.
+
+    One collector belongs to one engine; the engine resets it at the
+    warmup boundary (mirroring its own counter reset) so attribution
+    totals always partition the reported aggregates exactly.
+    """
+
+    def __init__(self, sample: int = 64, capacity: int = 4096) -> None:
+        if sample < 1:
+            raise ValueError("sample must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.sample = sample
+        self.capacity = capacity
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard everything observed so far (warmup boundary)."""
+        self.causes: Dict[str, int] = {cause: 0 for cause in CAUSES}
+        self.sites: Dict[int, SiteStats] = {}
+        self.trace = EventTrace(
+            "attribution.events", capacity=self.capacity, sample=self.sample
+        )
+        self.gap_histogram = Histogram("attribution.penalty_gap")
+        self._breaks_seen = 0
+        self._last_penalty_break = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        pc: int,
+        kind: int,
+        taken: bool,
+        outcome: int,
+        cause: Optional[str],
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one counted break.
+
+        *outcome* is one of the ``OUTCOME_*`` codes; *cause* must name
+        a taxonomy member for penalty outcomes and is ignored for
+        correct ones.  *detail* (e.g. ``{"underflow": True}`` on a
+        ``ras-mispop``) is merged into the sampled trace record only.
+        """
+        site = self.sites.get(pc)
+        if site is None:
+            site = self.sites[pc] = SiteStats(kind)
+        site.executed += 1
+        self._breaks_seen += 1
+        if kind == _CONDITIONAL:
+            # per-site 2-bit counter behaviour: how predictable this
+            # site would be for a private saturating counter
+            state = site._two_bit
+            if (state >= 2) == taken:
+                site.two_bit_hits += 1
+            if taken:
+                site.taken += 1
+                if state < 3:
+                    site._two_bit = state + 1
+            elif state > 0:
+                site._two_bit = state - 1
+        elif taken:
+            site.taken += 1
+        if outcome == OUTCOME_CORRECT:
+            return
+        if outcome == OUTCOME_MISFETCH:
+            site.misfetched += 1
+        else:
+            site.mispredicted += 1
+        self.causes[cause] += 1
+        site.causes[cause] = site.causes.get(cause, 0) + 1
+        gap = self._breaks_seen - self._last_penalty_break
+        self._last_penalty_break = self._breaks_seen
+        self.gap_histogram.observe(gap)
+        record = {
+            "pc": pc,
+            "kind": kind,
+            "outcome": outcome,
+            "cause": cause,
+            "break_index": self._breaks_seen,
+        }
+        if detail:
+            record.update(detail)
+        self.trace.record(record)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def penalty_events(self) -> int:
+        """Total attributed penalty events (misfetches + mispredicts)."""
+        return sum(self.causes.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable snapshot attached to the simulation report."""
+        return {
+            "schema": ATTRIBUTION_SCHEMA,
+            "sample": self.sample,
+            "capacity": self.capacity,
+            "breaks": self._breaks_seen,
+            "causes": dict(self.causes),
+            "sites": {pc: self.sites[pc].to_dict() for pc in sorted(self.sites)},
+            "gap_histogram": self.gap_histogram.to_dict(),
+            "trace": self.trace.to_dict(),
+        }

@@ -25,6 +25,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cache.icache import InstructionCache
+from repro.fetch.attribution import (
+    CAUSE_DIRECTION,
+    CAUSE_FRONTEND_MISS,
+    CAUSE_NLS_TYPE_MISMATCH,
+    CAUSE_RAS_MISPOP,
+    AttributionCollector,
+)
 from repro.fetch.frontends import (
     FetchFrontEnd,
     MECH_CONDITIONAL,
@@ -70,6 +77,7 @@ class FetchEngine:
         penalties: Optional[PenaltyModel] = None,
         model_wrong_path: bool = False,
         flush_interval: Optional[int] = None,
+        attribution: Optional[AttributionCollector] = None,
     ) -> None:
         self.cache = cache
         self.frontend = frontend
@@ -97,6 +105,11 @@ class FetchEngine:
         if flush_interval is not None and flush_interval < 1:
             raise ValueError("flush_interval must be positive")
         self.flush_interval = flush_interval
+        #: optional cause-attribution collector (DESIGN.md §11): when
+        #: set, every counted break is classified into the closed
+        #: taxonomy of :mod:`repro.fetch.attribution`; when ``None``
+        #: the hot loop pays one pointer comparison per break
+        self.attribution = attribution
 
     # ------------------------------------------------------------------
 
@@ -153,6 +166,17 @@ class FetchEngine:
             )
             registry.counter("engine.frontend_predicts").add(predicts)
             registry.counter("engine.ras_ops").add(ras_ops)
+        collector = self.attribution
+        if collector is not None and registry.enabled:
+            # publish the closed-taxonomy totals alongside the phase
+            # counters, and fold this run's penalty-gap distribution
+            # into the process-wide histogram
+            for cause_name, count in collector.causes.items():
+                if count:
+                    registry.counter(f"engine.cause.{cause_name}").add(count)
+            registry.histogram("engine.penalty_gap").absorb(
+                collector.gap_histogram
+            )
         stats = getattr(self.frontend, "mismatch_causes", None)
         return SimulationReport.from_counters(
             counters,
@@ -160,6 +184,7 @@ class FetchEngine:
             program=trace.name,
             penalties=self.penalties,
             frontend_stats=dict(stats) if stats is not None else None,
+            attribution=collector.snapshot() if collector is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -203,6 +228,10 @@ class FetchEngine:
         pht_update = pht.update
         ras = self.return_stack
         use_ras = self.uses_ras
+        collector = self.attribution
+        if collector is not None:
+            collector.reset()
+        observe = collector.observe if collector is not None else None
 
         counters = SimulationCounters()
         by_kind = {int(kind): counter for kind, counter in counters.by_kind.items()}
@@ -232,6 +261,10 @@ class FetchEngine:
                 base_accesses = cache.accesses
                 base_misses = cache.misses
                 n_instructions = 0
+                if collector is not None:
+                    # attribution mirrors the counter reset so its
+                    # per-cause totals partition the reported aggregates
+                    collector.reset()
             start = starts[index]
             count = counts[index]
             n_instructions += count
@@ -274,6 +307,8 @@ class FetchEngine:
 
             misfetch = False
             mispredict = False
+            cause = None  # taxonomy member when misfetch/mispredict
+            detail = None  # extra fields for the sampled trace record
 
             if kind == CONDITIONAL:
                 if implicit:
@@ -281,42 +316,66 @@ class FetchEngine:
                     implied = frontend.implied_taken(handle, fall_through)
                     if implied != taken:
                         mispredict = True
+                        # no entry at all means the "prediction" was the
+                        # structural not-taken default, not a trained bit
+                        cause = (
+                            CAUSE_FRONTEND_MISS if mech is None else CAUSE_DIRECTION
+                        )
                     elif taken and not fe_matches(handle, target):
                         misfetch = True
+                        cause = frontend.last_mismatch_cause
                 else:
                     predicted_taken = pht_predict(pc, target)
                     pht_update(pc, taken)
                     if predicted_taken != taken:
                         mispredict = True
+                        cause = CAUSE_DIRECTION
                     elif taken:
                         if mech == MECH_CONDITIONAL or mech == MECH_OTHER:
                             if not fe_matches(handle, target):
                                 misfetch = True
+                                cause = frontend.last_mismatch_cause
                         else:
                             # no entry (fetched fall-through) or a
                             # return-typed alias (fetched stack top):
                             # repaired at decode from the computed target
                             misfetch = True
+                            cause = (
+                                CAUSE_FRONTEND_MISS
+                                if mech is None
+                                else CAUSE_NLS_TYPE_MISMATCH
+                            )
                     else:
                         # direction right, not taken: the precomputed
                         # fall-through is correct unless a wrong-typed
                         # entry steered fetch elsewhere
                         if mech == MECH_OTHER or mech == MECH_RETURN:
                             misfetch = True
+                            cause = CAUSE_NLS_TYPE_MISMATCH
             elif kind == UNCONDITIONAL or kind == CALL:
                 if mech == MECH_OTHER:
                     if not fe_matches(handle, target):
                         misfetch = True
+                        cause = frontend.last_mismatch_cause
                 elif mech == MECH_CONDITIONAL:
                     # conditional-typed alias: fetch follows the PHT
                     # (consulted, not trained — this is not a
                     # conditional branch)
-                    if not (pht_predict(pc, target) and fe_matches(handle, target)):
+                    if not pht_predict(pc, target):
                         misfetch = True
+                        cause = CAUSE_NLS_TYPE_MISMATCH
+                    elif not fe_matches(handle, target):
+                        misfetch = True
+                        cause = frontend.last_mismatch_cause
                 else:
                     # no entry or return-typed alias; the direct target
                     # is computed at decode
                     misfetch = True
+                    cause = (
+                        CAUSE_FRONTEND_MISS
+                        if mech is None
+                        else CAUSE_NLS_TYPE_MISMATCH
+                    )
             elif kind == RETURN:
                 predicted_return = ras.pop() if use_ras else None
                 if not use_ras:
@@ -324,26 +383,46 @@ class FetchEngine:
                     # wrong pointer is only discovered at execute
                     if not fe_matches(handle, target):
                         mispredict = True
+                        cause = frontend.last_mismatch_cause
                 elif mech == MECH_RETURN:
                     if predicted_return != target:
                         mispredict = True
+                        cause = CAUSE_RAS_MISPOP
+                        detail = {"underflow": predicted_return is None}
                 else:
                     # the front-end did not identify the return; decode
                     # does, and repairs from the stack if it can
                     if predicted_return == target:
                         misfetch = True
+                        cause = (
+                            CAUSE_FRONTEND_MISS
+                            if mech is None
+                            else CAUSE_NLS_TYPE_MISMATCH
+                        )
                     else:
                         mispredict = True
+                        cause = CAUSE_RAS_MISPOP
+                        detail = {"underflow": predicted_return is None}
             else:  # INDIRECT
                 if mech == MECH_OTHER:
                     if not fe_matches(handle, target):
                         mispredict = True
+                        cause = frontend.last_mismatch_cause
                 elif mech == MECH_CONDITIONAL:
-                    if not (pht_predict(pc, target) and fe_matches(handle, target)):
+                    if not pht_predict(pc, target):
                         mispredict = True
+                        cause = CAUSE_NLS_TYPE_MISMATCH
+                    elif not fe_matches(handle, target):
+                        mispredict = True
+                        cause = frontend.last_mismatch_cause
                 else:
                     # no prediction: the register target arrives at execute
                     mispredict = True
+                    cause = (
+                        CAUSE_FRONTEND_MISS
+                        if mech is None
+                        else CAUSE_NLS_TYPE_MISMATCH
+                    )
 
             if misfetch and model_wrong_path:
                 # touch the line fetch actually went to before decode
@@ -366,6 +445,16 @@ class FetchEngine:
                 counter.misfetched += 1
             elif mispredict:
                 counter.mispredicted += 1
+
+            if observe is not None:
+                observe(
+                    pc,
+                    kind,
+                    taken,
+                    1 if misfetch else (2 if mispredict else 0),
+                    cause,
+                    detail,
+                )
 
             pending = (pc, kind, taken, target, fall_through)
 

@@ -30,9 +30,15 @@ from repro.core.nls_entry import (
     NLSEntryType,
     NLSPrediction,
     classify_nls_mismatch,
-    verify_nls_target,
 )
 from repro.core.nls_table import NLSTable
+from repro.fetch.attribution import (
+    CAUSE_BTB_WRONG_TARGET,
+    CAUSE_FRONTEND_MISS,
+    CAUSE_NLS_DISPLACED,
+    CAUSE_NLS_WRONG_LINE,
+    CAUSE_NLS_WRONG_SET,
+)
 from repro.isa.branches import BranchKind
 from repro.predictors.btb import BranchTargetBuffer, CoupledBTB
 
@@ -49,6 +55,14 @@ _KIND_TO_MECH = {
     BranchKind.INDIRECT: MECH_OTHER,
 }
 
+#: NLS diagnostic-histogram key -> attribution taxonomy cause
+_NLS_CAUSE = {
+    "invalid": CAUSE_FRONTEND_MISS,
+    "line-field": CAUSE_NLS_WRONG_LINE,
+    "displaced": CAUSE_NLS_DISPLACED,
+    "wrong-way": CAUSE_NLS_WRONG_SET,
+}
+
 
 class FetchFrontEnd(Protocol):
     """Interface the fetch engine drives."""
@@ -61,6 +75,10 @@ class FetchFrontEnd(Protocol):
     #: ``True`` when the structure predicts direction implicitly
     #: (Johnson's pointer) instead of deferring to the shared PHT
     implicit_direction: bool
+    #: attribution-taxonomy cause of the most recent
+    #: :meth:`target_matches` that returned ``False`` (the engine
+    #: reads it right after a failed match — see fetch/attribution.py)
+    last_mismatch_cause: Optional[str]
 
     def predict(self, pc: int, line_way: int):
         """Return ``(mechanism, handle)`` for the break at *pc*.
@@ -95,6 +113,7 @@ class BTBFrontEnd:
 
     implicit_direction = False
     perfect = False
+    last_mismatch_cause: Optional[str] = None
 
     def __init__(self, btb: BranchTargetBuffer) -> None:
         self.btb = btb
@@ -109,7 +128,13 @@ class BTBFrontEnd:
     def target_matches(self, handle, target: int) -> bool:
         # a BTB entry stores the full address: no residency or way
         # checks — this is the BTB's advantage on cache misses (§7)
-        return handle is not None and handle.target == target
+        if handle is None:
+            self.last_mismatch_cause = CAUSE_FRONTEND_MISS
+            return False
+        if handle.target != target:
+            self.last_mismatch_cause = CAUSE_BTB_WRONG_TARGET
+            return False
+        return True
 
     def predicted_address(self, handle):
         """Full predicted address (for wrong-path modelling)."""
@@ -147,6 +172,7 @@ class NLSTableFrontEnd:
         #: why taken-target predictions failed (diagnostics, see
         #: classify_nls_mismatch)
         self.mismatch_causes = {cause: 0 for cause in MISMATCH_CAUSES}
+        self.last_mismatch_cause: Optional[str] = None
 
     def predict(self, pc: int, line_way: int):
         prediction = self.table.lookup(pc)
@@ -157,11 +183,13 @@ class NLSTableFrontEnd:
     def target_matches(self, handle, target: int) -> bool:
         if handle is None:
             self.mismatch_causes["invalid"] += 1
+            self.last_mismatch_cause = CAUSE_FRONTEND_MISS
             return False
         cause = classify_nls_mismatch(handle, target, self.cache)
         if cause is None:
             return True
         self.mismatch_causes[cause] += 1
+        self.last_mismatch_cause = _NLS_CAUSE[cause]
         return False
 
     def update(
@@ -192,6 +220,10 @@ class NLSCacheFrontEnd:
         self.name = (
             f"nls-cache-{nls_cache.predictors_per_line}pl-{nls_cache.policy}"
         )
+        #: why taken-target predictions failed (same diagnostic
+        #: histogram the NLS-table front end keeps)
+        self.mismatch_causes = {cause: 0 for cause in MISMATCH_CAUSES}
+        self.last_mismatch_cause: Optional[str] = None
 
     def predict(self, pc: int, line_way: int):
         prediction = self.nls_cache.lookup(pc, line_way)
@@ -200,7 +232,16 @@ class NLSCacheFrontEnd:
         return int(prediction.type), prediction
 
     def target_matches(self, handle, target: int) -> bool:
-        return handle is not None and verify_nls_target(handle, target, self.cache)
+        if handle is None:
+            self.mismatch_causes["invalid"] += 1
+            self.last_mismatch_cause = CAUSE_FRONTEND_MISS
+            return False
+        cause = classify_nls_mismatch(handle, target, self.cache)
+        if cause is None:
+            return True
+        self.mismatch_causes[cause] += 1
+        self.last_mismatch_cause = _NLS_CAUSE[cause]
+        return False
 
     def update(
         self,
@@ -231,6 +272,7 @@ class JohnsonFrontEnd:
         self.geometry = johnson.geometry
         self.cache = johnson.cache
         self.name = f"johnson-{johnson.predictors_per_line}pl"
+        self.last_mismatch_cause: Optional[str] = None
 
     def predict(self, pc: int, line_way: int):
         prediction = self.johnson.lookup(pc, line_way)
@@ -242,13 +284,17 @@ class JohnsonFrontEnd:
     def target_matches(self, handle, target: int) -> bool:
         prediction: SuccessorPrediction = handle
         if prediction is None or not prediction.valid:
+            self.last_mismatch_cause = CAUSE_FRONTEND_MISS
             return False
         if prediction.line_field != self.geometry.line_field(target):
+            self.last_mismatch_cause = CAUSE_NLS_WRONG_LINE
             return False
         way = self.cache.probe(target)
         if way is None:
+            self.last_mismatch_cause = CAUSE_NLS_DISPLACED
             return False
         if self.geometry.associativity > 1 and way != prediction.way:
+            self.last_mismatch_cause = CAUSE_NLS_WRONG_SET
             return False
         return True
 
@@ -289,6 +335,7 @@ class OracleFrontEnd:
     implicit_direction = False
     perfect = True
     name = "oracle"
+    last_mismatch_cause: Optional[str] = None
 
     def predict(self, pc: int, line_way: int):
         return MECH_OTHER, None
@@ -310,6 +357,7 @@ class FallThroughFrontEnd:
     implicit_direction = False
     perfect = False
     name = "fall-through"
+    last_mismatch_cause: Optional[str] = CAUSE_FRONTEND_MISS
 
     def predict(self, pc: int, line_way: int):
         return None, None
@@ -335,6 +383,7 @@ class CoupledBTBFrontEnd:
     implicit_direction = True
     uses_ras = True
     perfect = False
+    last_mismatch_cause: Optional[str] = None
 
     def __init__(self, btb: CoupledBTB) -> None:
         self.btb = btb
@@ -347,7 +396,13 @@ class CoupledBTBFrontEnd:
         return _KIND_TO_MECH[entry.kind], entry
 
     def target_matches(self, handle, target: int) -> bool:
-        return handle is not None and handle.target == target
+        if handle is None:
+            self.last_mismatch_cause = CAUSE_FRONTEND_MISS
+            return False
+        if handle.target != target:
+            self.last_mismatch_cause = CAUSE_BTB_WRONG_TARGET
+            return False
+        return True
 
     def predicted_address(self, handle):
         """Full predicted address (for wrong-path modelling)."""

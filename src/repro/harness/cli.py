@@ -8,6 +8,7 @@ Examples::
     python -m repro.harness all --out results/ --jobs 4
     python -m repro.harness bench --smoke
     python -m repro.harness bench --gate BENCH_engine.json --tolerance 0.10
+    python -m repro.harness attribute --smoke --attr-dir results/
     repro-harness fig7 --programs gcc cfront --telemetry run.ndjson
 
 ``list`` prints every registered experiment with its simulation cell
@@ -24,9 +25,18 @@ benchmarks (see :mod:`repro.telemetry.bench`), writes schema-versioned
 ``--gate BASELINE.json`` — exits non-zero when any throughput metric
 regressed more than ``--tolerance`` below the baseline.
 
+``attribute`` runs attribution-enabled cells (see DESIGN.md §11) and
+renders per-cause / per-site penalty profiles: ``ATTRIBUTION.md``
+(top-K hot-offender tables whose BEP column decomposes the report's
+BEP exactly) and ``ATTRIBUTION.json`` under ``--attr-dir``.  It also
+audits cause conservation and exits non-zero on any violation.
+
 ``--telemetry FILE`` enables the telemetry registry for the run and
-writes the recorded counters, timers and spans to *FILE* as NDJSON
-(one event per line — DESIGN.md §10 documents the schema).
+writes the recorded counters, timers, histograms and spans to *FILE*
+as NDJSON (one event per line — DESIGN.md §10 documents the schema);
+``--chrome-trace FILE`` renders the same run's spans as Chrome
+trace-event JSON for ``about:tracing`` / Perfetto.  Both flags share
+one registry, so they compose with every subcommand.
 """
 
 from __future__ import annotations
@@ -36,14 +46,15 @@ import inspect
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
+from repro.harness.config import FRONTENDS
 from repro.harness.experiments import EXPERIMENTS, SPECS, ExperimentResult
 from repro.harness.runner import RunPlan
 from repro.harness.spec import run_plans
 from repro.harness.tables import format_seconds, format_table
 from repro.telemetry.core import Registry, use
-from repro.telemetry.sinks import write_events
+from repro.telemetry.sinks import write_chrome_trace, write_events
 from repro.workloads.profiles import paper_programs
 
 
@@ -57,12 +68,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "bench"],
+        choices=sorted(EXPERIMENTS) + ["all", "attribute", "list", "bench"],
         help=(
             "which table/figure to regenerate ('all' runs everything, "
             "'list' shows the registry with per-experiment cell counts, "
             "'bench' runs the standardised benchmarks and writes "
-            "BENCH_*.json artifacts)"
+            "BENCH_*.json artifacts, 'attribute' renders per-cause/"
+            "per-site penalty profiles)"
         ),
     )
     parser.add_argument(
@@ -108,11 +120,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "recorded events to FILE as NDJSON (one event per line)"
         ),
     )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "enable the telemetry registry for the run and write its "
+            "spans to FILE as Chrome trace-event JSON "
+            "(about:tracing / Perfetto)"
+        ),
+    )
     bench = parser.add_argument_group("bench options")
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="bench: shrink every budget so the suite finishes in seconds",
+        help=(
+            "bench/attribute: shrink every budget so the run finishes "
+            "in seconds"
+        ),
     )
     bench.add_argument(
         "--bench-dir",
@@ -134,6 +159,38 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.10,
         help="bench --gate: allowed fractional slowdown (default: 0.10)",
+    )
+    attribute = parser.add_argument_group("attribute options")
+    attribute.add_argument(
+        "--frontends",
+        nargs="+",
+        choices=FRONTENDS,
+        default=("nls-table", "btb"),
+        help="attribute: front-ends to profile (default: nls-table btb)",
+    )
+    attribute.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="attribute: hot-offender sites to rank (default: 10)",
+    )
+    attribute.add_argument(
+        "--attr-sample",
+        type=int,
+        default=64,
+        help=(
+            "attribute: keep every Nth penalty event in the sampled "
+            "ring (default: 64)"
+        ),
+    )
+    attribute.add_argument(
+        "--attr-dir",
+        default=".",
+        metavar="DIR",
+        help=(
+            "attribute: directory for ATTRIBUTION.md / ATTRIBUTION.json "
+            "(default: cwd)"
+        ),
     )
     return parser
 
@@ -224,17 +281,93 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_attribute(args: argparse.Namespace) -> int:
+    """``attribute`` subcommand: run attribution-enabled cells, render
+    the per-cause / per-site profiles, audit conservation."""
+    from repro.analysis import attribution as analysis_module
+    from repro.harness.config import ArchitectureConfig
+    from repro.harness.runner import RunRequest
+
+    programs = list(
+        args.programs
+        if args.programs is not None
+        else (("li", "espresso") if args.smoke else paper_programs())
+    )
+    instructions = args.instructions
+    if instructions is None and args.smoke:
+        instructions = 50_000
+    plan = RunPlan(
+        RunRequest(
+            config=ArchitectureConfig(
+                frontend=frontend,
+                attribution=True,
+                attribution_sample=args.attr_sample,
+            ),
+            program=program,
+            instructions=instructions,
+        )
+        for frontend in args.frontends
+        for program in programs
+    )
+    backend = "serial" if args.jobs == 1 else "process"
+    jobs = None if args.jobs < 1 else args.jobs
+    reports = plan.execute(backend=backend, jobs=jobs)
+    profiles = []
+    violations: List[str] = []
+    for request in plan.requests:
+        report = reports[request]
+        violations.extend(
+            f"{report.label} / {report.program}: {error}"
+            for error in analysis_module.conservation_errors(report)
+        )
+        profiles.append(analysis_module.fold_attribution(report, top_k=args.top))
+    markdown = analysis_module.render_markdown(profiles)
+    print(markdown)
+    os.makedirs(args.attr_dir, exist_ok=True)
+    markdown_path = os.path.join(args.attr_dir, "ATTRIBUTION.md")
+    with open(markdown_path, "w", encoding="utf-8") as handle:
+        handle.write(markdown)
+    payload_path = os.path.join(args.attr_dir, "ATTRIBUTION.json")
+    analysis_module.write_payload(payload_path, profiles)
+    print(
+        f"[attribute: {len(profiles)} profiles -> "
+        f"{markdown_path}, {payload_path}]"
+    )
+    if violations:
+        print("attribution conservation FAILED:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    return 0
+
+
+def _with_telemetry(
+    args: argparse.Namespace, body: Callable[[argparse.Namespace], int]
+) -> int:
+    """Shared ``--telemetry`` / ``--chrome-trace`` wiring: when either
+    flag is set, run *body* under one enabled registry and dump the
+    recorded events to the requested sinks; otherwise run *body* bare.
+    Every subcommand (experiments, ``bench``, ``attribute``) goes
+    through here, so the flags compose uniformly."""
+    if not args.telemetry and not args.chrome_trace:
+        return body(args)
+    registry = Registry(enabled=True)
+    with use(registry):
+        status = body(args)
+    events = list(registry.events())
+    if args.telemetry:
+        count = write_events(args.telemetry, events)
+        print(f"[telemetry: {count} events -> {args.telemetry}]")
+    if args.chrome_trace:
+        count = write_chrome_trace(args.chrome_trace, events)
+        print(f"[chrome-trace: {count} spans -> {args.chrome_trace}]")
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-harness`` / ``python -m repro.harness``."""
     args = _build_parser().parse_args(argv)
-    if args.telemetry:
-        registry = Registry(enabled=True)
-        with use(registry):
-            status = _dispatch(args)
-        count = write_events(args.telemetry, registry.events())
-        print(f"[telemetry: {count} events -> {args.telemetry}]")
-        return status
-    return _dispatch(args)
+    return _with_telemetry(args, _dispatch)
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -243,6 +376,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _list_experiments(args)
     if args.experiment == "bench":
         return _run_bench(args)
+    if args.experiment == "attribute":
+        return _run_attribute(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out:
         os.makedirs(args.out, exist_ok=True)

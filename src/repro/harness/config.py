@@ -11,6 +11,7 @@ from typing import Optional, Tuple
 from repro.cache.geometry import CacheGeometry
 from repro.cache.icache import InstructionCache
 from repro.core.johnson import JohnsonSuccessorIndex
+from repro.fetch.attribution import AttributionCollector
 from repro.core.nls_cache import NLSCache
 from repro.core.nls_table import NLSTable
 from repro.core.steely_sager import SteelySagerTable
@@ -73,6 +74,13 @@ class ArchitectureConfig:
     #: instructions between full state flushes (context switches);
     #: None = never (the paper's single-process traces)
     flush_interval: Optional[int] = None
+    #: attach a cause-attribution collector (DESIGN.md §11) to the
+    #: built engine: exact per-cause/per-site tallies plus a sampled
+    #: event ring.  Part of the config so run-plan dedup keys on it
+    #: and process workers rebuild it from the spec alone.
+    attribution: bool = False
+    #: keep every ``attribution_sample``-th penalty event in the ring
+    attribution_sample: int = 64
 
     def __post_init__(self) -> None:
         if self.frontend not in FRONTENDS:
@@ -81,6 +89,8 @@ class ArchitectureConfig:
             )
         if self.cache_kb < 1:
             raise ValueError("cache size must be at least 1 KB")
+        if self.attribution_sample < 1:
+            raise ValueError("attribution_sample must be positive")
 
     # ------------------------------------------------------------------
 
@@ -193,4 +203,9 @@ class ArchitectureConfig:
             penalties=self.penalties,
             model_wrong_path=self.model_wrong_path,
             flush_interval=self.flush_interval,
+            attribution=(
+                AttributionCollector(sample=self.attribution_sample)
+                if self.attribution
+                else None
+            ),
         )

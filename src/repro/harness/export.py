@@ -48,6 +48,11 @@ def _jsonable(value):
             payload["manifest"] = {
                 k: _jsonable(v) for k, v in manifest.to_dict().items()
             }
+        attribution = getattr(value, "attribution", None)
+        if attribution is not None:
+            # cause-attribution snapshot (DESIGN.md §11): per-cause
+            # totals, per-site profiles, gap histogram, sampled events
+            payload["attribution"] = _jsonable(attribution)
         return payload
     if is_dataclass(value) and not isinstance(value, type):
         return {k: _jsonable(v) for k, v in asdict(value).items()}

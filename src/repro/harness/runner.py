@@ -135,6 +135,7 @@ def run_request(request: RunRequest, backend: str = "serial") -> SimulationRepor
         wall = time.perf_counter() - started
         cpu = time.process_time() - cpu_started
     registry.counter("runner.cells").add()
+    registry.histogram("runner.cell_wall_ms").observe(int(wall * 1000))
     meta = RunMetadata(
         config_label=label,
         program=request.program,

@@ -60,6 +60,12 @@ class SimulationCounters:
         return sum(counter.mispredicted for counter in self.by_kind.values())
 
     @property
+    def penalty_events(self) -> int:
+        """Total penalised breaks (misfetches + mispredicts) — the
+        population a cause attribution must partition exactly."""
+        return self.misfetches + self.mispredicts
+
+    @property
     def icache_miss_rate(self) -> float:
         """Instruction-cache miss rate over line-granularity accesses."""
         if self.icache_accesses == 0:

@@ -15,7 +15,7 @@ mispredict, 5-cycle instruction-cache miss.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from repro.isa.branches import BranchKind
 from repro.metrics.counters import SimulationCounters
@@ -75,6 +75,12 @@ class SimulationReport:
     #: optional front-end-specific statistics (e.g. the NLS front
     #: ends' mismatch-cause histogram), deterministic per cell
     frontend_stats: Optional[Dict[str, int]] = None
+    #: optional cause-attribution snapshot (DESIGN.md §11): per-cause
+    #: totals, per-site profiles, gap histogram and sampled event ring
+    #: from an :class:`~repro.fetch.attribution.AttributionCollector`;
+    #: sampling makes the trace portion vary with configuration, so
+    #: like provenance it stays out of equality
+    attribution: Optional[Dict[str, Any]] = field(default=None, compare=False)
     #: run provenance, attached by the harness runner; wall time and
     #: worker pid vary run to run, so it never participates in equality
     meta: Optional[RunMetadata] = field(default=None, compare=False)
@@ -93,6 +99,7 @@ class SimulationReport:
         program: str = "",
         penalties: Optional[PenaltyModel] = None,
         frontend_stats: Optional[Dict[str, int]] = None,
+        attribution: Optional[Dict[str, Any]] = None,
     ) -> "SimulationReport":
         """Derive a report from raw counters."""
         return cls(
@@ -110,6 +117,7 @@ class SimulationReport:
                 for kind, c in counters.by_kind.items()
             },
             frontend_stats=frontend_stats,
+            attribution=attribution,
         )
 
     # ------------------------------------------------------------------

@@ -141,6 +141,12 @@ class BranchTargetBuffer:
             return 0.0
         return self.hits / self.lookups
 
+    @property
+    def misses(self) -> int:
+        """Lookups that found no entry (the ``btb-miss`` attribution
+        cause counts the subset that belonged to penalised breaks)."""
+        return self.lookups - self.hits
+
     def occupancy(self) -> int:
         """Number of valid entries currently stored."""
         return sum(len(entries) for entries in self._sets)

@@ -25,17 +25,22 @@ class ReturnAddressStack:
         self.pushes = 0
         self.pops = 0
         self.underflows = 0
+        self.overflows = 0
 
     def push(self, return_address: int) -> None:
         """Push the return address of a call.
 
         When the stack is full the oldest entry is overwritten (the
-        circular buffer wraps); depth saturates at ``capacity``.
+        circular buffer wraps); depth saturates at ``capacity`` and
+        the overwrite is counted as an overflow — the pop that would
+        have matched the clobbered call is doomed to mispredict.
         """
         self._slots[self._top] = return_address
         self._top = (self._top + 1) % self.capacity
         if self._depth < self.capacity:
             self._depth += 1
+        else:
+            self.overflows += 1
         self.pushes += 1
 
     def pop(self) -> Optional[int]:

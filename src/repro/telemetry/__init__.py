@@ -23,6 +23,8 @@ Four pieces (DESIGN.md §10):
 from repro.telemetry.core import (
     EVENT_SCHEMA,
     Counter,
+    EventTrace,
+    Histogram,
     Registry,
     Span,
     Timer,
@@ -31,22 +33,33 @@ from repro.telemetry.core import (
     use,
 )
 from repro.telemetry.manifest import MANIFEST_SCHEMA, RunManifest, collect
-from repro.telemetry.sinks import MemorySink, NDJSONSink, read_events, write_events
+from repro.telemetry.sinks import (
+    MemorySink,
+    NDJSONSink,
+    chrome_trace_events,
+    read_events,
+    write_chrome_trace,
+    write_events,
+)
 
 __all__ = [
     "EVENT_SCHEMA",
     "MANIFEST_SCHEMA",
     "Counter",
     "Timer",
+    "Histogram",
+    "EventTrace",
     "Span",
     "Registry",
     "RunManifest",
     "MemorySink",
     "NDJSONSink",
+    "chrome_trace_events",
     "collect",
     "get_registry",
     "set_registry",
     "use",
     "read_events",
+    "write_chrome_trace",
     "write_events",
 ]

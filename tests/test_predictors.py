@@ -242,6 +242,32 @@ class TestReturnAddressStack:
         assert ras.pushes == 1
         assert ras.pops == 1
 
+    def test_overflow_counter(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.overflows == 0
+        ras.push(0x300)  # wraps: clobbers 0x100
+        ras.push(0x400)  # wraps again: clobbers 0x200
+        assert ras.overflows == 2
+        assert ras.pushes == 4
+
+    def test_underflow_and_overflow_counters_are_independent(self):
+        ras = ReturnAddressStack(1)
+        assert ras.pop() is None  # underflow: nothing ever pushed
+        ras.push(0x100)
+        ras.push(0x200)  # overflow: clobbers 0x100
+        assert ras.underflows == 1
+        assert ras.overflows == 1
+
+    def test_clear_keeps_overflow_statistics(self):
+        ras = ReturnAddressStack(1)
+        ras.push(0x100)
+        ras.push(0x200)
+        ras.clear()
+        assert ras.overflows == 1
+        assert ras.depth == 0
+
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
             ReturnAddressStack(0)
