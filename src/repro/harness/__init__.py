@@ -3,9 +3,13 @@ executor, and one declarative spec per table/figure of the paper (see
 ``python -m repro.harness`` and DESIGN.md, "Harness architecture").
 """
 
+from repro.harness.checkpoint import CellFailure, CheckpointJournal
 from repro.harness.config import ArchitectureConfig
 from repro.harness.runner import (
     BACKENDS,
+    CellExecutionError,
+    CellTimeoutError,
+    ExecutionPolicy,
     RunPlan,
     RunRequest,
     run_config,
@@ -23,6 +27,11 @@ from repro.harness.spec import (
 __all__ = [
     "ArchitectureConfig",
     "BACKENDS",
+    "CellExecutionError",
+    "CellFailure",
+    "CellTimeoutError",
+    "CheckpointJournal",
+    "ExecutionPolicy",
     "ExperimentPlan",
     "ExperimentResult",
     "ExperimentSpec",

@@ -37,6 +37,15 @@ as NDJSON (one event per line — DESIGN.md §10 documents the schema);
 ``--chrome-trace FILE`` renders the same run's spans as Chrome
 trace-event JSON for ``about:tracing`` / Perfetto.  Both flags share
 one registry, so they compose with every subcommand.
+
+The resilience flags (DESIGN.md §12) turn failures from fatal into
+managed: ``--checkpoint-dir DIR`` journals every completed cell so
+``--resume`` recomputes nothing after an abort; ``--max-retries`` and
+``--cell-timeout`` bound each cell's attempts and wall time; a cell
+that still fails is *quarantined* — the sweep finishes, a
+``FAILURES.json`` manifest names the cell, and the exit status is
+non-zero.  ``--faults FILE`` arms the deterministic fault-injection
+plan in :mod:`repro.testing.faults` (used by the CI chaos-smoke job).
 """
 
 from __future__ import annotations
@@ -46,16 +55,34 @@ import inspect
 import os
 import sys
 import time
+import warnings
 from typing import Callable, List, Optional
 
 from repro.harness.config import FRONTENDS
 from repro.harness.experiments import EXPERIMENTS, SPECS, ExperimentResult
-from repro.harness.runner import RunPlan
+from repro.harness.runner import ExecutionPolicy, RunPlan
 from repro.harness.spec import run_plans
 from repro.harness.tables import format_seconds, format_table
 from repro.telemetry.core import Registry, use
 from repro.telemetry.sinks import write_chrome_trace, write_events
+from repro.testing.faults import FAULTS_ENV_VAR
 from repro.workloads.profiles import paper_programs
+
+
+def _jobs_value(text: str) -> int:
+    """``--jobs`` validator: a clean one-line error instead of a
+    traceback for non-integers and negatives (0 stays 'one per CPU')."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 0 (0 = one per CPU), got {value}"
+        )
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,11 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_value,
         default=1,
         help=(
             "worker processes: 1 = serial in-process (default), "
-            "0 = one per CPU, N = a pool of N (both via the 'process' backend)"
+            "0 = one per CPU, N = a pool of N (both via the 'process' "
+            "backend; values above the CPU count warn and clamp)"
         ),
     )
     parser.add_argument(
@@ -128,6 +156,53 @@ def _build_parser() -> argparse.ArgumentParser:
             "enable the telemetry registry for the run and write its "
             "spans to FILE as Chrome trace-event JSON "
             "(about:tracing / Perfetto)"
+        ),
+    )
+    resilience = parser.add_argument_group(
+        "resilience options (DESIGN.md §12)"
+    )
+    resilience.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal every completed cell to DIR/journal.ndjson so an "
+            "aborted sweep can be resumed"
+        ),
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay completed cells from the checkpoint journal instead "
+            "of recomputing them (requires --checkpoint-dir)"
+        ),
+    )
+    resilience.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retries per cell before quarantine (default 2 once any "
+            "resilience flag is active; deterministic failures — the "
+            "same exception twice — quarantine immediately)"
+        ),
+    )
+    resilience.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell deadline; an overrunning cell fails and retries",
+    )
+    resilience.add_argument(
+        "--faults",
+        metavar="FILE",
+        default=None,
+        help=(
+            "arm the deterministic fault-injection plan in FILE "
+            "(see repro.testing.faults; chaos testing only)"
         ),
     )
     bench = parser.add_argument_group("bench options")
@@ -281,6 +356,46 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_policy(args: argparse.Namespace) -> Optional[ExecutionPolicy]:
+    """The run's :class:`ExecutionPolicy`, or ``None`` when no
+    resilience flag is active (bit-identical legacy behaviour)."""
+    active = (
+        args.checkpoint_dir is not None
+        or args.resume
+        or args.max_retries is not None
+        or args.cell_timeout is not None
+        or args.faults is not None
+    )
+    if not active:
+        return None
+    return ExecutionPolicy(
+        max_retries=2 if args.max_retries is None else args.max_retries,
+        cell_timeout=args.cell_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+
+
+def _report_failures(plan: RunPlan, args: argparse.Namespace) -> int:
+    """Write ``FAILURES.json`` and print the quarantine summary;
+    returns the process exit status (non-zero when cells failed)."""
+    if not plan.failures:
+        return 0
+    from repro.harness.export import write_failures
+
+    directory = args.checkpoint_dir or args.out or "."
+    path = write_failures(directory, plan.failures.values())
+    print(f"QUARANTINED {len(plan.failures)} cell(s); manifest -> {path}")
+    for failure in plan.failures.values():
+        request = failure.request
+        print(
+            f"  {request.config.label()} / {request.program}: "
+            f"{failure.error_type}: {failure.message} "
+            f"[{failure.kind} after {failure.attempts} attempt(s)]"
+        )
+    return 1
+
+
 def _run_attribute(args: argparse.Namespace) -> int:
     """``attribute`` subcommand: run attribution-enabled cells, render
     the per-cause / per-site profiles, audit conservation."""
@@ -311,10 +426,12 @@ def _run_attribute(args: argparse.Namespace) -> int:
     )
     backend = "serial" if args.jobs == 1 else "process"
     jobs = None if args.jobs < 1 else args.jobs
-    reports = plan.execute(backend=backend, jobs=jobs)
+    reports = plan.execute(backend=backend, jobs=jobs, policy=_build_policy(args))
     profiles = []
     violations: List[str] = []
     for request in plan.requests:
+        if request in plan.failures:
+            continue  # quarantined cells are reported separately
         report = reports[request]
         violations.extend(
             f"{report.label} / {report.program}: {error}"
@@ -333,12 +450,13 @@ def _run_attribute(args: argparse.Namespace) -> int:
         f"[attribute: {len(profiles)} profiles -> "
         f"{markdown_path}, {payload_path}]"
     )
+    failure_status = _report_failures(plan, args)
     if violations:
         print("attribution conservation FAILED:")
         for violation in violations:
             print(f"  {violation}")
         return 1
-    return 0
+    return failure_status
 
 
 def _with_telemetry(
@@ -364,10 +482,52 @@ def _with_telemetry(
     return status
 
 
+def _validate_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Cross-flag validation: one-line errors, never a traceback."""
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.faults is not None and not os.path.exists(args.faults):
+        parser.error(f"--faults plan file not found: {args.faults}")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error(
+            f"--cell-timeout must be positive, got {args.cell_timeout}"
+        )
+    cpus = os.cpu_count() or 1
+    # remember what was asked for: a --jobs 2 clamped to 1 on a 1-CPU
+    # box must still take the pooled (deduplicating) path
+    args.requested_jobs = args.jobs
+    if args.jobs > cpus:
+        warnings.warn(
+            f"--jobs {args.jobs} exceeds the {cpus} available CPU(s); "
+            f"clamping to {cpus}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        args.jobs = cpus
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-harness`` / ``python -m repro.harness``."""
-    args = _build_parser().parse_args(argv)
-    return _with_telemetry(args, _dispatch)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    _validate_args(parser, args)
+    previous_faults = os.environ.get(FAULTS_ENV_VAR)
+    if args.faults is not None:
+        # arm the plan via the environment *before* any pool spawns so
+        # forked workers inherit it (repro.testing.faults.active_plan)
+        os.environ[FAULTS_ENV_VAR] = args.faults
+    try:
+        return _with_telemetry(args, _dispatch)
+    finally:
+        if args.faults is not None:
+            if previous_faults is None:
+                os.environ.pop(FAULTS_ENV_VAR, None)
+            else:  # pragma: no cover - nested arming is test-only
+                os.environ[FAULTS_ENV_VAR] = previous_faults
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -381,7 +541,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out:
         os.makedirs(args.out, exist_ok=True)
-    if args.jobs == 1:
+    policy = _build_policy(args)
+    if getattr(args, "requested_jobs", args.jobs) == 1 and policy is None:
         # serial path: run each experiment's own plan in-process,
         # bit-identical to the historical per-figure loops
         for name in names:
@@ -394,16 +555,19 @@ def _dispatch(args: argparse.Namespace) -> int:
             print()
             _write(result, args)
         return 0
-    # parallel path: pool every requested experiment's cells into one
-    # deduplicated plan and fan it out to the process backend
+    # pooled path: collect every requested experiment's cells into one
+    # deduplicated plan and execute it — on the process backend for
+    # --jobs != 1, in-process for a resilient --jobs 1 run (both
+    # backends share identical retry/quarantine/resume semantics)
     started = time.time()
     plans = [
         SPECS[name].plan(**_experiment_kwargs(SPECS[name].build, args))
         for name in names
         if name in SPECS
     ]
+    backend = "serial" if args.jobs == 1 else "process"
     jobs = None if args.jobs < 1 else args.jobs
-    results, plan = run_plans(plans, backend="process", jobs=jobs)
+    results, plan = run_plans(plans, backend=backend, jobs=jobs, policy=policy)
     elapsed = time.time() - started
     for result in results:
         print(f"=== {result.title} ===")
@@ -420,9 +584,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     print(
         f"[{len(results)} experiments in {format_seconds(elapsed)}: "
         f"{plan.requested} cells requested, {plan.unique} executed "
-        f"(process backend, jobs={args.jobs if args.jobs >= 1 else 'auto'})]"
+        f"({backend} backend, jobs={args.jobs if args.jobs >= 1 else 'auto'})]"
     )
-    return 0
+    return _report_failures(plan, args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -19,8 +19,13 @@ import csv
 import json
 import os
 from dataclasses import asdict, is_dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.harness.checkpoint import (
+    FAILURES_NAME,
+    CellFailure,
+    write_failure_manifest,
+)
 from repro.harness.experiments import ExperimentResult
 
 
@@ -125,3 +130,16 @@ def write_result(
                 writer.writerow(row)
         written.append(path)
     return written
+
+
+def write_failures(directory: str, failures: Iterable[CellFailure]) -> str:
+    """Write the sweep's quarantine manifest (``FAILURES.json``) into
+    *directory* (atomic rename — see DESIGN.md §12); returns the path.
+
+    The manifest names every quarantined cell with its config label,
+    program, retry count and last traceback, so a non-zero CLI exit is
+    diagnosable without re-running the sweep."""
+    os.makedirs(directory, exist_ok=True)
+    return write_failure_manifest(
+        os.path.join(directory, FAILURES_NAME), failures
+    )

@@ -1,5 +1,5 @@
 """Run-plan executor: simulate (config × program) grids through
-pluggable backends.
+pluggable backends, resiliently.
 
 The harness is layered spec → plan → backend (see DESIGN.md,
 "Harness architecture"):
@@ -13,41 +13,69 @@ The harness is layered spec → plan → backend (see DESIGN.md,
 
   - ``serial`` — in-process loop, bit-identical to the historical
     single-threaded sweep (the default);
-  - ``process`` — a multiprocessing pool; cells are batched by trace
-    key so each worker generates a given trace once and memoises it
-    via :mod:`repro.workloads.corpus` (per-process cache).
+  - ``process`` — a supervised ``ProcessPoolExecutor``; cells are
+    batched by trace key so each worker generates a given trace once
+    and memoises it via :mod:`repro.workloads.corpus`.
+
+Passing an :class:`ExecutionPolicy` turns on the resilience layer
+(DESIGN.md §12), with identical semantics on both backends:
+
+* a crash-safe **checkpoint journal** of completed cells
+  (:mod:`repro.harness.checkpoint`) with ``resume`` replay;
+* **per-cell retry** with exponential backoff + deterministic jitter
+  and an optional per-cell deadline (SIGALRM-based, enforced inside
+  the executing process);
+* **failure classification** — transient failures (worker died, pool
+  broke, deadline exceeded) retry until ``max_retries`` is exhausted;
+  a cell failing with the *same exception twice* is deterministic and
+  quarantines immediately;
+* **graceful degradation** — quarantined cells no longer abort the
+  plan; they are collected as :class:`CellFailure` records
+  (``plan.failures``) for the CLI's ``FAILURES.json`` manifest while
+  every healthy cell still completes;
+* **pool supervision** — a ``BrokenProcessPool`` rebuilds the pool and
+  redistributes the in-flight cells; a pool that cannot start at all
+  degrades to the serial backend with a warning, a
+  ``runner.pool_fallback`` counter, and a ``pool_fallback`` marker in
+  each cell's :class:`~repro.telemetry.manifest.RunManifest`.
+
+Without a policy the backends keep their historical strict contract:
+the first failing cell raises :class:`CellExecutionError` (naming the
+cell) and aborts the plan.
 
 Every cell's report carries a :class:`~repro.metrics.report.RunMetadata`
-with the config label, program, seed, layout, executing backend, pid
-and wall time, plus a :class:`~repro.telemetry.manifest.RunManifest`
-(git SHA, interpreter/platform, trace key, wall/CPU cost, peak RSS),
-so provenance survives aggregation and export.
-
-When a telemetry registry is active (see :mod:`repro.telemetry`),
-every cell is wrapped in a ``runner.cell`` span; pool workers record
-into private registries whose snapshots ship back with each batch and
-merge into the parent's, so serial and process runs produce equivalent
-counter totals.  Worker failures surface as
-:class:`CellExecutionError` naming the offending cell, and a pool that
-cannot start at all (sandboxes) degrades to the serial backend with a
-warning.
-
-Traces are memoised by :mod:`repro.workloads.corpus`, so a serial
-sweep pays the trace-generation cost once per program.
+and a :class:`~repro.telemetry.manifest.RunManifest`, so provenance
+survives aggregation and export.  When a telemetry registry is active
+(see :mod:`repro.telemetry`), cells are wrapped in ``runner.cell``
+spans and the resilience layer emits ``runner.retries``,
+``runner.quarantined``, ``runner.resumed_cells``,
+``runner.cell_timeouts`` and ``runner.pool_rebuilds`` counters; pool
+workers record into private registries whose snapshots ship back with
+each batch and merge into the parent's.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import multiprocessing
 import os
+import random
+import signal
+import threading
 import time
+import traceback as traceback_module
 import warnings
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import (
     Any,
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -55,10 +83,12 @@ from typing import (
     Union,
 )
 
+from repro.harness.checkpoint import CellFailure, CheckpointJournal, cell_key
 from repro.harness.config import ArchitectureConfig
 from repro.metrics.report import RunMetadata, SimulationReport
 from repro.telemetry import manifest as manifest_module
 from repro.telemetry.core import Registry, get_registry, set_registry
+from repro.testing import faults as faults_module
 from repro.workloads.corpus import clear_cache, generate_trace, trace_key
 from repro.workloads.trace import Trace
 
@@ -97,26 +127,174 @@ class RunRequest:
         )
 
 
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Resilience knobs for one plan execution (DESIGN.md §12).
+
+    ``max_retries`` counts *retries after the first attempt*: a cell
+    quarantines once it has failed ``max_retries + 1`` times — or
+    sooner, when the same exception repeats (deterministic failure).
+    ``cell_timeout`` is enforced with ``SIGALRM`` inside whichever
+    process executes the cell, so it works identically for the serial
+    and process backends (and is skipped off the main thread, where
+    POSIX signals cannot be delivered).
+    """
+
+    max_retries: int = 2
+    cell_timeout: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: jitter fraction added to each backoff (deterministic, seeded)
+    jitter: float = 0.25
+    seed: int = 0
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive")
+        if self.resume and not self.checkpoint_dir:
+            raise ValueError("resume requires a checkpoint_dir")
+
+    def backoff_delay(self, key: str, attempts: int) -> float:
+        """Exponential backoff with deterministic jitter for retry
+        number *attempts* of the cell identified by *key*."""
+        base = self.backoff_base_s * (2 ** max(attempts - 1, 0))
+        capped = min(base, self.backoff_cap_s)
+        rng = random.Random(f"{self.seed}:{key}:{attempts}")
+        return capped * (1.0 + self.jitter * rng.random())
+
+
 class CellExecutionError(RuntimeError):
     """A simulation cell failed inside an executor backend.
 
     Raised instead of the worker's bare pickled traceback so the error
     names the offending cell — config label, program and seed — which
     is what a sweep over hundreds of cells needs to be debuggable.
+    Carries the cell identity and the original traceback text as
+    attributes, and preserves them across pickling (process-pool
+    results are pickled back to the parent).
     """
 
+    def __init__(
+        self,
+        message: str,
+        cell: str = "",
+        program: str = "",
+        error_type: str = "",
+        traceback_text: str = "",
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.cell = cell
+        self.program = program
+        self.error_type = error_type
+        self.traceback_text = traceback_text
+        self.attempts = attempts
 
-def run_request(request: RunRequest, backend: str = "serial") -> SimulationReport:
+    def __reduce__(self):
+        return (
+            _rebuild_cell_error,
+            (
+                self.args[0] if self.args else "",
+                self.cell,
+                self.program,
+                self.error_type,
+                self.traceback_text,
+                self.attempts,
+            ),
+        )
+
+
+def _rebuild_cell_error(
+    message: str,
+    cell: str,
+    program: str,
+    error_type: str,
+    traceback_text: str,
+    attempts: int,
+) -> CellExecutionError:
+    """Unpickling constructor for :class:`CellExecutionError`."""
+    return CellExecutionError(
+        message,
+        cell=cell,
+        program=program,
+        error_type=error_type,
+        traceback_text=traceback_text,
+        attempts=attempts,
+    )
+
+
+class CellTimeoutError(RuntimeError):
+    """A cell overran its :class:`ExecutionPolicy` deadline."""
+
+
+#: error-record types the classifier always treats as transient
+TRANSIENT_ERROR_TYPES = frozenset(
+    {"CellTimeoutError", "WorkerCrashError", "BrokenProcessPool"}
+)
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`CellTimeoutError` in the current process after
+    *seconds*.  SIGALRM-based, so it interrupts genuinely hung cells;
+    silently a no-op without a deadline, off the main thread, or on
+    platforms without ``SIGALRM``."""
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise CellTimeoutError(f"cell exceeded its {seconds}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _error_record(exc: BaseException) -> Dict[str, Any]:
+    """Picklable description of a cell failure (the retry currency)."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(
+            traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    }
+
+
+def _is_transient(record: Dict[str, Any]) -> bool:
+    return record.get("type") in TRANSIENT_ERROR_TYPES
+
+
+def run_request(
+    request: RunRequest,
+    backend: str = "serial",
+    manifest_extra: Optional[Dict[str, Any]] = None,
+) -> SimulationReport:
     """Execute one cell: generate (or reuse) the trace, build a fresh
     engine from the picklable config, run, and stamp provenance.
 
     The cell is wrapped in a ``runner.cell`` telemetry span (a no-op
     unless a registry is active — see :mod:`repro.telemetry`), and the
     report carries both a :class:`RunMetadata` and a
-    :class:`~repro.telemetry.manifest.RunManifest`."""
+    :class:`~repro.telemetry.manifest.RunManifest` (*manifest_extra*
+    lands in the manifest's ``extra`` field)."""
     registry = get_registry()
     config = request.config
     label = config.label()
+    faults_module.fire("cell", program=request.program, config=label)
     with registry.span(
         "runner.cell", config=label, program=request.program, backend=backend
     ):
@@ -153,29 +331,222 @@ def run_request(request: RunRequest, backend: str = "serial") -> SimulationRepor
         trace_key=request.resolved_trace_key(),
         wall_time_s=wall,
         cpu_time_s=cpu,
+        extra=manifest_extra,
     )
     return replace(report, meta=meta, manifest=manifest)
 
 
+def quarantined_report(request: RunRequest) -> SimulationReport:
+    """Zero-metric placeholder standing in for a quarantined cell.
+
+    Lets every renderer finish the sweep with the healthy cells while
+    marking the hole: all counts are zero and the metadata backend is
+    ``"quarantined"``, which exports carry through verbatim."""
+    return SimulationReport(
+        label=request.config.label(),
+        program=request.program,
+        n_instructions=0,
+        n_breaks=0,
+        misfetches=0,
+        mispredicts=0,
+        icache_accesses=0,
+        icache_misses=0,
+        penalties=request.config.penalties,
+        meta=RunMetadata(
+            config_label=request.config.label(),
+            program=request.program,
+            instructions=request.instructions,
+            seed=request.seed,
+            layout=request.layout,
+            warmup=request.warmup,
+            backend="quarantined",
+        ),
+    )
+
+
 def _cell_error(request: RunRequest, exc: BaseException) -> CellExecutionError:
     """Wrap *exc* in an error naming the offending cell."""
+    return _cell_error_from_record(request, _error_record(exc))
+
+
+def _cell_error_from_record(
+    request: RunRequest, record: Dict[str, Any], attempts: int = 1
+) -> CellExecutionError:
+    """Build the cell-naming error from a picklable failure record."""
     return CellExecutionError(
         f"simulation cell failed: config={request.config.label()!r} "
         f"program={request.program!r} seed={request.seed!r} "
-        f"layout={request.layout!r}: {type(exc).__name__}: {exc}"
+        f"layout={request.layout!r}: {record['type']}: {record['message']}",
+        cell=request.config.label(),
+        program=request.program,
+        error_type=record["type"],
+        traceback_text=record.get("traceback", ""),
+        attempts=attempts,
     )
+
+
+# ---------------------------------------------------------------------------
+# supervision bookkeeping (shared by both backends)
+# ---------------------------------------------------------------------------
+
+
+class _PlanSupervisor:
+    """Per-execution retry/quarantine/journal bookkeeping.
+
+    One instance supervises one plan execution; both backends drive it
+    with :meth:`succeed` / :meth:`fail`, so the journal format, retry
+    taxonomy and quarantine rules are identical everywhere.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[RunRequest],
+        policy: ExecutionPolicy,
+        strict: bool = False,
+    ) -> None:
+        self.policy = policy
+        self.strict = strict
+        self.registry = get_registry()
+        self.results: Dict[RunRequest, SimulationReport] = {}
+        self.failures: Dict[RunRequest, CellFailure] = {}
+        self.attempts: Dict[RunRequest, int] = {}
+        self._signatures: Dict[RunRequest, Tuple[str, str]] = {}
+        self.journal = (
+            CheckpointJournal(policy.checkpoint_dir)
+            if policy.checkpoint_dir
+            else None
+        )
+        self.pending: List[RunRequest] = list(requests)
+        if self.journal is not None and policy.resume:
+            replayed = self.journal.replay(self.pending)
+            if replayed:
+                self.results.update(replayed)
+                self.registry.counter("runner.resumed_cells").add(len(replayed))
+                self.pending = [
+                    request
+                    for request in self.pending
+                    if request not in self.results
+                ]
+
+    def succeed(self, request: RunRequest, report: SimulationReport) -> None:
+        """Record one completed cell (journalled durably when on)."""
+        self.results[request] = report
+        if self.journal is not None:
+            self.journal.append(request, report)
+            self.registry.counter("runner.journal_appends").add()
+
+    def fail(self, request: RunRequest, record: Dict[str, Any]) -> Optional[float]:
+        """Record one failed attempt; returns the backoff delay for a
+        retry, or ``None`` when the cell is now quarantined.
+
+        Transient failures (deadline, dead worker, broken pool) retry
+        until ``max_retries`` is exhausted.  Any other failure retries
+        too — unless it repeats with the same type and message, which
+        marks it deterministic and quarantines it on the spot.  In
+        strict mode (no user policy) quarantine raises instead.
+        """
+        attempts = self.attempts.get(request, 0) + 1
+        self.attempts[request] = attempts
+        if record.get("type") == "CellTimeoutError":
+            self.registry.counter("runner.cell_timeouts").add()
+        signature = (record.get("type", ""), record.get("message", ""))
+        repeated = (
+            not _is_transient(record)
+            and self._signatures.get(request) == signature
+        )
+        self._signatures[request] = signature
+        if repeated or attempts > self.policy.max_retries:
+            self._quarantine(request, record, attempts, repeated)
+            return None
+        self.registry.counter("runner.retries").add()
+        return self.policy.backoff_delay(cell_key(request), attempts)
+
+    def _quarantine(
+        self,
+        request: RunRequest,
+        record: Dict[str, Any],
+        attempts: int,
+        repeated: bool,
+    ) -> None:
+        if self.strict:
+            raise _cell_error_from_record(request, record, attempts=attempts)
+        self.registry.counter("runner.quarantined").add()
+        with self.registry.span(
+            "runner.quarantine",
+            config=request.config.label(),
+            program=request.program,
+            error=record.get("type", ""),
+        ):
+            pass
+        self.failures[request] = CellFailure(
+            request=request,
+            error_type=record.get("type", ""),
+            message=record.get("message", ""),
+            traceback=record.get("traceback", ""),
+            attempts=attempts,
+            kind="deterministic" if repeated else "exhausted",
+        )
+
+    def finish(self) -> None:
+        """Flush and release the journal handle."""
+        if self.journal is not None:
+            self.journal.close()
 
 
 # ---------------------------------------------------------------------------
 # backends
 # ---------------------------------------------------------------------------
 
+_ExecuteResult = Tuple[
+    Dict[RunRequest, SimulationReport], Dict[RunRequest, CellFailure]
+]
+
 
 def _execute_serial(
-    requests: Sequence[RunRequest], jobs: Optional[int] = None
-) -> Dict[RunRequest, SimulationReport]:
-    """In-process backend: one cell after another, insertion order."""
-    return {request: run_request(request, backend="serial") for request in requests}
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    manifest_extra: Optional[Dict[str, Any]] = None,
+) -> _ExecuteResult:
+    """In-process backend: one cell after another, insertion order.
+
+    Without a policy this is the historical strict loop — the first
+    failure raises (unwrapped) and aborts.  With one, cells retry with
+    backoff under the per-cell deadline and quarantine instead of
+    aborting, journalling completions as they land."""
+    if policy is None:
+        return (
+            {
+                request: run_request(
+                    request, backend="serial", manifest_extra=manifest_extra
+                )
+                for request in requests
+            },
+            {},
+        )
+    supervisor = _PlanSupervisor(requests, policy)
+    try:
+        for request in supervisor.pending:
+            while True:
+                try:
+                    with _deadline(policy.cell_timeout):
+                        report = run_request(
+                            request,
+                            backend="serial",
+                            manifest_extra=manifest_extra,
+                        )
+                except Exception as exc:
+                    delay = supervisor.fail(request, _error_record(exc))
+                    if delay is None:
+                        break
+                    if delay > 0:
+                        time.sleep(delay)
+                else:
+                    supervisor.succeed(request, report)
+                    break
+    finally:
+        supervisor.finish()
+    return supervisor.results, supervisor.failures
 
 
 def _batches_by_trace(requests: Sequence[RunRequest]) -> List[List[RunRequest]]:
@@ -201,77 +572,290 @@ def _worker_init(telemetry_enabled: bool = False) -> None:
         set_registry(Registry(enabled=True))
 
 
-def _run_batch(
-    batch: List[RunRequest],
-) -> Tuple[List[Tuple[RunRequest, SimulationReport]], Optional[Dict[str, Any]]]:
+#: one worker-side cell outcome: (request, "ok", report) or
+#: (request, "error", error_record)
+_Outcome = Tuple[RunRequest, str, Any]
+
+
+def _run_batch_outcomes(
+    batch: List[RunRequest], cell_timeout: Optional[float] = None
+) -> Tuple[List[_Outcome], Optional[Dict[str, Any]]]:
     """Worker task: execute one same-trace batch of cells.
 
-    Returns the cell reports plus the worker registry's telemetry
-    snapshot *delta* for this batch (``None`` when telemetry is off).
-    A failing cell raises :class:`CellExecutionError` naming the cell
-    instead of surfacing a bare pickled traceback.
+    Per-cell failures are captured as picklable error records instead
+    of aborting the batch, so one poisoned cell cannot take its
+    batch-mates' finished work with it.  Returns the outcomes plus the
+    worker registry's telemetry snapshot *delta* for this batch
+    (``None`` when telemetry is off).
     """
-    pairs = []
+    outcomes: List[_Outcome] = []
     for request in batch:
         try:
-            pairs.append((request, run_request(request, backend="process")))
-        except CellExecutionError:
-            raise
+            with _deadline(cell_timeout):
+                report = run_request(request, backend="process")
         except Exception as exc:
-            raise _cell_error(request, exc) from exc
+            outcomes.append((request, "error", _error_record(exc)))
+        else:
+            outcomes.append((request, "ok", report))
     registry = get_registry()
     if not registry.enabled:
-        return pairs, None
+        return outcomes, None
     snapshot = registry.snapshot()
     # ship only this batch's delta: replace the worker registry so the
     # parent can merge snapshots without double-counting
     set_registry(Registry(enabled=True))
+    return outcomes, snapshot
+
+
+def _run_batch(
+    batch: List[RunRequest],
+) -> Tuple[List[Tuple[RunRequest, SimulationReport]], Optional[Dict[str, Any]]]:
+    """Strict batch wrapper: any failed cell raises
+    :class:`CellExecutionError` naming the cell (the historical
+    worker contract, still used directly by tests)."""
+    outcomes, snapshot = _run_batch_outcomes(batch)
+    pairs = []
+    for request, status, payload in outcomes:
+        if status == "error":
+            raise _cell_error_from_record(request, payload)
+        pairs.append((request, payload))
     return pairs, snapshot
 
 
+#: exceptions that mean "the pool could not start at all"
+_POOL_START_ERRORS = (OSError, PermissionError, ValueError, RuntimeError)
+
+
+def _make_executor(workers: int, telemetry_enabled: bool) -> ProcessPoolExecutor:
+    """Build the worker pool (separated out as the supervision /
+    fallback seam — tests monkeypatch this to simulate pool loss)."""
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=multiprocessing.get_context(),
+        initializer=_worker_init,
+        initargs=(telemetry_enabled,),
+    )
+
+
+def _terminate_executor(executor: Optional[ProcessPoolExecutor]) -> None:
+    """Best-effort hard shutdown: cancel queued work and kill live
+    workers so an interrupted run leaves no zombies behind."""
+    if executor is None:
+        return
+    processes = list(getattr(executor, "_processes", {}).values())
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown is best-effort
+        pass
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+
+
+def _serial_completion(
+    supervisor: _PlanSupervisor, requests: Sequence[RunRequest]
+) -> None:
+    """Finish *requests* in-process under *supervisor* (the pool-loss
+    degradation path), marking every manifest with ``pool_fallback``."""
+    for request in requests:
+        while True:
+            try:
+                with _deadline(supervisor.policy.cell_timeout):
+                    report = run_request(
+                        request,
+                        backend="serial",
+                        manifest_extra={"pool_fallback": True},
+                    )
+            except Exception as exc:
+                delay = supervisor.fail(request, _error_record(exc))
+                if delay is None:
+                    break
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                supervisor.succeed(request, report)
+                break
+
+
 def _execute_process(
-    requests: Sequence[RunRequest], jobs: Optional[int] = None
-) -> Dict[RunRequest, SimulationReport]:
-    """Multiprocessing backend: same-trace batches fan out to a pool.
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
+) -> _ExecuteResult:
+    """Multiprocessing backend: same-trace batches fan out to a
+    supervised ``ProcessPoolExecutor``.
 
     Worker telemetry snapshots are merged into the parent's active
     registry, so counter totals and per-cell spans are equivalent to a
-    serial run.  If the pool cannot even start (sandboxed
-    environments, missing semaphores), the backend warns and falls
-    back to the serial executor rather than failing the sweep.
+    serial run.  A broken pool (killed worker) is rebuilt and its
+    in-flight cells redistributed; a pool that cannot start at all
+    degrades to the serial path with a warning and a
+    ``runner.pool_fallback`` counter.  ``KeyboardInterrupt`` tears the
+    pool down hard (no zombie workers) with the journal flushed.
     """
     if not requests:
-        return {}
+        return {}, {}
     if jobs is None or jobs < 1:
         jobs = os.cpu_count() or 1
-    batches = _batches_by_trace(requests)
+    strict = policy is None
+    effective = ExecutionPolicy(max_retries=0) if strict else policy
     registry = get_registry()
-    results: Dict[RunRequest, SimulationReport] = {}
-    context = multiprocessing.get_context()
-    try:
-        pool = context.Pool(
-            processes=min(jobs, len(batches)),
-            initializer=_worker_init,
-            initargs=(registry.enabled,),
-        )
-    except (OSError, PermissionError, ValueError) as exc:
+    supervisor = _PlanSupervisor(requests, effective, strict=strict)
+    if not supervisor.pending:
+        supervisor.finish()
+        return supervisor.results, supervisor.failures
+
+    def _fallback(executor: Optional[ProcessPoolExecutor], exc: BaseException):
         warnings.warn(
             f"multiprocessing pool failed to start ({type(exc).__name__}: "
             f"{exc}); falling back to the serial backend",
             RuntimeWarning,
-            stacklevel=2,
+            stacklevel=3,
         )
-        return _execute_serial(requests)
-    with pool:
-        for pairs, snapshot in pool.imap_unordered(_run_batch, batches):
+        registry.counter("runner.pool_fallback").add()
+        _terminate_executor(executor)
+        remaining = [
+            request
+            for request in supervisor.pending
+            if request not in supervisor.results
+            and request not in supervisor.failures
+        ]
+        _serial_completion(supervisor, remaining)
+        return supervisor.results, supervisor.failures
+
+    batches = _batches_by_trace(supervisor.pending)
+    workers = min(jobs, len(batches))
+    executor: Optional[ProcessPoolExecutor] = None
+    in_flight: Dict[Future, List[RunRequest]] = {}
+    #: min-heap of (due_time, tiebreak, request) awaiting resubmission
+    retry_heap: List[Tuple[float, int, RunRequest]] = []
+    tiebreak = itertools.count()
+    try:
+        try:
+            executor = _make_executor(workers, registry.enabled)
+            for batch in batches:
+                future = executor.submit(
+                    _run_batch_outcomes, batch, effective.cell_timeout
+                )
+                in_flight[future] = list(batch)
+        except _POOL_START_ERRORS as exc:
+            return _fallback(executor, exc)
+
+        def _schedule_retry(request: RunRequest, delay: float) -> None:
+            heapq.heappush(
+                retry_heap,
+                (time.monotonic() + delay, next(tiebreak), request),
+            )
+
+        def _handle_outcomes(outcomes, snapshot) -> None:
             registry.merge(snapshot)
-            for request, report in pairs:
-                results[request] = report
-    return results
+            for request, status, payload in outcomes:
+                if status == "ok":
+                    supervisor.succeed(request, payload)
+                else:
+                    delay = supervisor.fail(request, payload)
+                    if delay is not None:
+                        _schedule_retry(request, delay)
+
+        def _rebuild_pool(broken: ProcessPoolExecutor) -> ProcessPoolExecutor:
+            """Replace a broken pool, salvaging finished futures and
+            redistributing the cells whose results were lost."""
+            registry.counter("runner.pool_rebuilds").add()
+            lost: List[RunRequest] = []
+            for future, batch in in_flight.items():
+                try:
+                    outcomes, snapshot = future.result(timeout=0)
+                except Exception:
+                    lost.extend(batch)
+                else:
+                    _handle_outcomes(outcomes, snapshot)
+            in_flight.clear()
+            _terminate_executor(broken)
+            for request in lost:
+                delay = supervisor.fail(
+                    request,
+                    {
+                        "type": "WorkerCrashError",
+                        "message": (
+                            "worker process died before delivering this "
+                            "cell's result (broken process pool)"
+                        ),
+                        "traceback": "",
+                    },
+                )
+                if delay is not None:
+                    _schedule_retry(request, delay)
+            return _make_executor(workers, registry.enabled)
+
+        while in_flight or retry_heap:
+            now = time.monotonic()
+            due: List[RunRequest] = []
+            while retry_heap and retry_heap[0][0] <= now:
+                due.append(heapq.heappop(retry_heap)[2])
+            if due:
+                submitted: set = set()
+                try:
+                    for batch in _batches_by_trace(due):
+                        future = executor.submit(
+                            _run_batch_outcomes, batch, effective.cell_timeout
+                        )
+                        in_flight[future] = list(batch)
+                        submitted.update(batch)
+                except BrokenProcessPool:
+                    # cells that made it in are redistributed by the
+                    # rebuild below; requeue only the ones that didn't
+                    for request in due:
+                        if request not in submitted:
+                            _schedule_retry(request, 0.0)
+                    executor = _rebuild_pool(executor)
+                except _POOL_START_ERRORS as exc:
+                    return _fallback(executor, exc)
+                continue
+            if not in_flight:
+                # nothing running; sleep until the next retry is due
+                time.sleep(
+                    min(max(retry_heap[0][0] - now, 0.0), 0.05)
+                )
+                continue
+            done, _ = wait(
+                set(in_flight), timeout=0.1, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                batch = in_flight.pop(future)
+                try:
+                    outcomes, snapshot = future.result()
+                except BrokenProcessPool:
+                    # every other in-flight future is doomed too;
+                    # salvage and rebuild once for all of them
+                    in_flight[future] = batch
+                    broken = True
+                    break
+                except Exception as exc:
+                    # result failed to unpickle / unexpected executor
+                    # error: charge each cell of the batch one attempt
+                    record = _error_record(exc)
+                    for request in batch:
+                        delay = supervisor.fail(request, record)
+                        if delay is not None:
+                            _schedule_retry(request, delay)
+                else:
+                    _handle_outcomes(outcomes, snapshot)
+            if broken:
+                executor = _rebuild_pool(executor)
+    except KeyboardInterrupt:
+        _terminate_executor(executor)
+        executor = None
+        raise
+    finally:
+        supervisor.finish()
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+    return supervisor.results, supervisor.failures
 
 
 #: executor backends selectable via the CLI's ``--jobs`` flag
-BACKENDS: Dict[str, Callable[..., Dict[RunRequest, SimulationReport]]] = {
+BACKENDS: Dict[str, Callable[..., _ExecuteResult]] = {
     "serial": _execute_serial,
     "process": _execute_process,
 }
@@ -284,13 +868,16 @@ class RunPlan:
     collapse to one execution whose report is shared by every
     requester.  ``requested``/``unique`` expose how much work dedup
     saved, and :meth:`execute` runs the unique cells through a named
-    backend.
+    backend.  After a resilient execution (one with an
+    :class:`ExecutionPolicy`), ``failures`` holds the quarantined
+    cells' :class:`~repro.harness.checkpoint.CellFailure` records.
     """
 
     def __init__(self, requests: Iterable[RunRequest] = ()) -> None:
         self._order: List[RunRequest] = []
         self._seen: set = set()
         self.requested = 0
+        self.failures: Dict[RunRequest, CellFailure] = {}
         self.add_all(requests)
 
     def add(self, request: RunRequest) -> RunRequest:
@@ -317,10 +904,17 @@ class RunPlan:
         return len(self._order)
 
     def execute(
-        self, backend: str = "serial", jobs: Optional[int] = None
+        self,
+        backend: str = "serial",
+        jobs: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> Dict[RunRequest, SimulationReport]:
         """Run every unique cell through *backend*; returns the full
-        request → report mapping."""
+        request → report mapping.
+
+        With a *policy*, failing cells retry and quarantine instead of
+        aborting: the mapping then omits quarantined cells, whose
+        failure records land in ``self.failures``."""
         try:
             execute = BACKENDS[backend]
         except KeyError:
@@ -328,7 +922,9 @@ class RunPlan:
                 f"unknown backend {backend!r}; expected one of "
                 f"{tuple(sorted(BACKENDS))}"
             ) from None
-        return execute(self._order, jobs)
+        results, failures = execute(self._order, jobs, policy)
+        self.failures = failures
+        return results
 
 
 # ---------------------------------------------------------------------------
@@ -384,13 +980,17 @@ def sweep(
     warmup_fraction: float = DEFAULT_WARMUP,
     backend: str = "serial",
     jobs: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Dict[str, List[SimulationReport]]:
     """Simulate every config on every program.
 
     Returns ``{config_label: [report_per_program, ...]}`` with program
     order preserved.  The grid is executed as a deduplicated
     :class:`RunPlan`, so repeated configs cost nothing, and *backend*
-    (with *jobs* workers) selects serial or parallel execution.
+    (with *jobs* workers) selects serial or parallel execution.  Under
+    a resilience *policy*, quarantined cells are filled with
+    :func:`quarantined_report` placeholders so the grid shape is
+    always complete.
     """
     programs = list(programs)
     grid: Dict[str, List[RunRequest]] = {}
@@ -412,7 +1012,9 @@ def sweep(
                 )
             )
         grid[label] = row
-    reports = plan.execute(backend=backend, jobs=jobs)
+    reports = plan.execute(backend=backend, jobs=jobs, policy=policy)
+    for request in plan.failures:
+        reports[request] = quarantined_report(request)
     return {
         label: [reports[request] for request in row]
         for label, row in grid.items()

@@ -21,7 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.harness.runner import RunPlan, RunRequest
+from repro.harness.runner import (
+    ExecutionPolicy,
+    RunPlan,
+    RunRequest,
+    quarantined_report,
+)
 from repro.metrics.report import SimulationReport
 
 #: the request → report mapping a plan's ``finish`` renderer receives
@@ -56,11 +61,15 @@ class ExperimentPlan:
     finish: Callable[[ReportMap], ExperimentResult]
 
     def run(
-        self, backend: str = "serial", jobs: Optional[int] = None
+        self,
+        backend: str = "serial",
+        jobs: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> ExperimentResult:
         """Execute this plan's cells alone and render the result."""
-        reports = RunPlan(self.cells).execute(backend=backend, jobs=jobs)
-        return self.finish(reports)
+        plan = RunPlan(self.cells)
+        reports = plan.execute(backend=backend, jobs=jobs, policy=policy)
+        return self.finish(_with_placeholders(reports, plan))
 
 
 @dataclass(frozen=True)
@@ -82,25 +91,49 @@ class ExperimentSpec:
         return self.build(**kwargs)
 
     def run(
-        self, backend: str = "serial", jobs: Optional[int] = None, **kwargs
+        self,
+        backend: str = "serial",
+        jobs: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        **kwargs,
     ) -> ExperimentResult:
         """Plan, execute and render this experiment in one call."""
-        return self.plan(**kwargs).run(backend=backend, jobs=jobs)
+        return self.plan(**kwargs).run(backend=backend, jobs=jobs, policy=policy)
+
+
+def _with_placeholders(
+    reports: Mapping[RunRequest, SimulationReport], plan: RunPlan
+) -> Mapping[RunRequest, SimulationReport]:
+    """Fill quarantined cells with zero-metric placeholders so every
+    renderer can finish the sweep (DESIGN.md §12 — graceful
+    degradation); the CLI separately reports the failures and exits
+    non-zero."""
+    if not plan.failures:
+        return reports
+    filled = dict(reports)
+    for request in plan.failures:
+        filled[request] = quarantined_report(request)
+    return filled
 
 
 def run_plans(
     plans: Sequence[ExperimentPlan],
     backend: str = "serial",
     jobs: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Tuple[List[ExperimentResult], RunPlan]:
     """Execute many experiments against one shared, deduplicated plan.
 
     Returns the rendered results (in *plans* order) together with the
     executed :class:`RunPlan`, whose ``requested``/``unique`` counters
-    report how many engine runs cross-experiment dedup saved.
+    report how many engine runs cross-experiment dedup saved.  Under a
+    resilience *policy*, quarantined cells render as placeholder
+    reports and their failure records stay on ``plan.failures``.
     """
     plan = RunPlan()
     for experiment in plans:
         plan.add_all(experiment.cells)
-    reports = plan.execute(backend=backend, jobs=jobs)
+    reports = _with_placeholders(
+        plan.execute(backend=backend, jobs=jobs, policy=policy), plan
+    )
     return [experiment.finish(reports) for experiment in plans], plan

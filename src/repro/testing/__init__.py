@@ -1,0 +1,25 @@
+"""Test-support subsystems shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the resilience layer is exercised with (see DESIGN.md §12);
+it ships inside ``src`` so the CI chaos-smoke job and downstream users
+can inject the same failures the test suite does.
+"""
+
+from repro.testing.faults import (
+    FaultInjectedError,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fire,
+    write_plan,
+)
+
+__all__ = [
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "fire",
+    "write_plan",
+]

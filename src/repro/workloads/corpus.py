@@ -14,6 +14,15 @@ Worker processes each hold their own private cache (module state is
 per process); :func:`clear_cache` gives pool initialisers and tests an
 explicit way to start from — or return to — an empty corpus.
 
+Setting ``REPRO_TRACE_CACHE_DIR`` adds a second, **on-disk** tier
+shared across processes and runs: generated traces are written as
+``.npz`` files (atomic tmp + rename) together with a SHA-256 checksum
+sidecar.  Loads validate the checksum first — a corrupted or truncated
+file (disk faults, torn writes, injected chaos) is **detected, evicted
+and regenerated** instead of crashing the sweep, with
+``corpus.trace_file_corrupt`` / ``corpus.trace_file_evictions``
+telemetry counters making the recovery visible.
+
 The global scale knob ``REPRO_TRACE_SCALE`` (an environment variable,
 default 1.0) multiplies every requested budget, letting test runs use
 short traces and full reproductions long ones without touching code.
@@ -21,10 +30,12 @@ short traces and full reproductions long ones without touching code.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Dict, Optional, Tuple
 
 from repro.telemetry.core import get_registry
+from repro.testing import faults as faults_module
 from repro.workloads.generator import build_program
 from repro.workloads.interpreter import execute
 from repro.workloads.profiles import get_profile
@@ -37,6 +48,9 @@ _CACHE: Dict[TraceKey, Trace] = {}
 
 #: environment variable multiplying every trace budget
 SCALE_ENV_VAR = "REPRO_TRACE_SCALE"
+
+#: environment variable naming the on-disk trace-cache directory
+CACHE_DIR_ENV_VAR = "REPRO_TRACE_CACHE_DIR"
 
 
 def trace_scale() -> float:
@@ -76,6 +90,95 @@ def trace_key(
     return (name, budget, effective_seed, layout)
 
 
+# ---------------------------------------------------------------------------
+# the on-disk tier (checksum-validated, opt-in via REPRO_TRACE_CACHE_DIR)
+# ---------------------------------------------------------------------------
+
+
+def trace_cache_dir() -> Optional[str]:
+    """The configured on-disk cache directory, or ``None``."""
+    return os.environ.get(CACHE_DIR_ENV_VAR) or None
+
+
+def _trace_file_path(directory: str, key: TraceKey) -> str:
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:16]
+    return os.path.join(directory, f"{key[0]}-{digest}.npz")
+
+
+def _checksum_path(path: str) -> str:
+    return path + ".sha256"
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _evict_trace_file(path: str) -> None:
+    """Remove a cached trace file and its checksum sidecar."""
+    for victim in (path, _checksum_path(path)):
+        try:
+            os.remove(victim)
+        except OSError:
+            pass
+
+
+def _store_trace_file(directory: str, key: TraceKey, trace: Trace) -> None:
+    """Persist *trace* with atomic renames plus a checksum sidecar."""
+    os.makedirs(directory, exist_ok=True)
+    path = _trace_file_path(directory, key)
+    tmp = f"{path}.{os.getpid()}.tmp.npz"
+    try:
+        trace.save(tmp)
+        checksum = _file_sha256(tmp)
+        os.replace(tmp, path)
+        checksum_tmp = f"{_checksum_path(path)}.{os.getpid()}.tmp"
+        with open(checksum_tmp, "w", encoding="utf-8") as handle:
+            handle.write(checksum + "\n")
+        os.replace(checksum_tmp, _checksum_path(path))
+        get_registry().counter("corpus.trace_file_stores").add()
+    except OSError:  # read-only / full disk: the cache is best-effort
+        _evict_trace_file(path)
+
+
+def _load_trace_file(directory: str, key: TraceKey) -> Optional[Trace]:
+    """Load + validate the cached trace for *key*.
+
+    Returns ``None`` when the file is absent, or when validation fails
+    — in which case the corrupted entry is **evicted** so the caller
+    regenerates it (never crashes the sweep on bad cached bytes)."""
+    registry = get_registry()
+    path = _trace_file_path(directory, key)
+    if not os.path.exists(path):
+        registry.counter("corpus.trace_file_misses").add()
+        return None
+    # chaos hook: lets the fault-injection harness corrupt the cached
+    # file at the exact moment a real disk fault would surface
+    faults_module.fire("trace-file", program=key[0], path=path)
+    try:
+        with open(_checksum_path(path), "r", encoding="utf-8") as handle:
+            expected = handle.read().strip()
+    except OSError:
+        expected = ""
+    corrupt = not expected or _file_sha256(path) != expected
+    trace: Optional[Trace] = None
+    if not corrupt:
+        try:
+            trace = Trace.load(path)
+        except Exception:  # truncated archive, bad zip, wrong dtype ...
+            corrupt = True
+    if corrupt:
+        registry.counter("corpus.trace_file_corrupt").add()
+        registry.counter("corpus.trace_file_evictions").add()
+        _evict_trace_file(path)
+        return None
+    registry.counter("corpus.trace_file_hits").add()
+    return trace
+
+
 def generate_trace(
     name: str,
     instructions: Optional[int] = None,
@@ -85,29 +188,39 @@ def generate_trace(
     """Return the (memoised) trace for the calibrated program *name*.
 
     *instructions* defaults to the profile's calibrated trace length;
-    either way it is multiplied by ``REPRO_TRACE_SCALE``.
+    either way it is multiplied by ``REPRO_TRACE_SCALE``.  With
+    ``REPRO_TRACE_CACHE_DIR`` set, traces also persist on disk behind
+    a checksum: corrupted files are evicted and regenerated.
     """
     key = trace_key(name, instructions=instructions, seed=seed, layout=layout)
     registry = get_registry()
     trace = _CACHE.get(key)
-    if trace is None:
-        registry.counter("corpus.trace_cache_misses").add()
-        profile = get_profile(name)
-        _, budget, effective_seed, _ = key
-        with registry.span(
-            "corpus.generate_trace", program=name, instructions=budget
-        ):
-            program = build_program(profile, layout=layout, seed=effective_seed)
-            trace = execute(
-                program,
-                budget,
-                seed=effective_seed + 1,
-                name=name,
-                profile_indirect_repeat=profile.indirect_repeat,
-            )
-        _CACHE[key] = trace
-    else:
+    if trace is not None:
         registry.counter("corpus.trace_cache_hits").add()
+        return trace
+    registry.counter("corpus.trace_cache_misses").add()
+    directory = trace_cache_dir()
+    if directory is not None:
+        trace = _load_trace_file(directory, key)
+        if trace is not None:
+            _CACHE[key] = trace
+            return trace
+    profile = get_profile(name)
+    _, budget, effective_seed, _ = key
+    with registry.span(
+        "corpus.generate_trace", program=name, instructions=budget
+    ):
+        program = build_program(profile, layout=layout, seed=effective_seed)
+        trace = execute(
+            program,
+            budget,
+            seed=effective_seed + 1,
+            name=name,
+            profile_indirect_repeat=profile.indirect_repeat,
+        )
+    _CACHE[key] = trace
+    if directory is not None:
+        _store_trace_file(directory, key, trace)
     return trace
 
 

@@ -7,6 +7,7 @@ subcommand and ``--jobs`` flag.
 """
 
 import json
+import os
 
 import pytest
 
@@ -232,7 +233,8 @@ class TestCLI:
             assert name in out
         assert "unique after cross-experiment dedup" in out
 
-    def test_jobs_flag_parallel_run(self, capsys):
+    def test_jobs_flag_parallel_run(self, capsys, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
         assert (
             cli_main(
                 [
@@ -255,7 +257,8 @@ class TestCLI:
         assert cli_main(["fig3", "--jobs", "0"]) == 0
         assert "jobs=auto" in capsys.readouterr().out
 
-    def test_serial_and_parallel_cli_text_match(self, capsys):
+    def test_serial_and_parallel_cli_text_match(self, capsys, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
         argv = ["johnson", "--programs", "li", "--instructions", str(SMALL)]
         assert cli_main(argv) == 0
         serial_out = capsys.readouterr().out

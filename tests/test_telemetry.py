@@ -354,19 +354,24 @@ class TestBackendRobustness:
     def test_pool_start_failure_falls_back_to_serial(self, monkeypatch):
         import repro.harness.runner as runner_module
 
-        class _BrokenContext:
-            def Pool(self, *args, **kwargs):
-                raise OSError("no semaphores in this sandbox")
+        def _broken_executor(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
 
-        monkeypatch.setattr(
-            runner_module.multiprocessing, "get_context", lambda: _BrokenContext()
-        )
+        monkeypatch.setattr(runner_module, "_make_executor", _broken_executor)
         clear_cache()
         plan = _small_plan()
-        with pytest.warns(RuntimeWarning, match="falling back to the serial"):
-            reports = plan.execute(backend="process", jobs=2)
+        registry = Registry(enabled=True)
+        with use(registry):
+            with pytest.warns(RuntimeWarning, match="falling back to the serial"):
+                reports = plan.execute(backend="process", jobs=2)
         assert len(reports) == plan.unique
         assert all(r.meta.backend == "serial" for r in reports.values())
+        # the degradation is observable: a telemetry counter ticks and
+        # every report's manifest records the serial fallback
+        assert registry.counter("runner.pool_fallback").value >= 1
+        assert all(
+            r.manifest.extra["pool_fallback"] for r in reports.values()
+        )
 
 
 # ---------------------------------------------------------------------------
