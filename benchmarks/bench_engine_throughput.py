@@ -1,8 +1,19 @@
 """Raw simulator throughput: events/second of the fetch engine.
 
 This is the one benchmark where wall-clock time is the result itself:
-it tracks the cost of the hot simulation loop across front-ends.
+it tracks the cost of the hot simulation loop across front-ends — and,
+for configurations inside the vectorised engine's supported matrix,
+the fast engine's speedup over the reference loop.
+
+Run as a script to regenerate ``docs/PERFORMANCE.md`` from a fresh
+standardised engine benchmark (the same measurement ``python -m
+repro.harness bench`` writes to ``BENCH_engine.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 """
+
+import pathlib
+import sys
 
 import pytest
 
@@ -11,22 +22,100 @@ from repro.workloads.corpus import generate_trace
 
 TRACE_INSTRUCTIONS = 150_000
 
+ENGINE_PARAMS = [
+    ("btb", "reference", {"entries": 128}),
+    ("btb", "fast", {"entries": 128}),
+    ("nls-table", "reference", {"entries": 1024}),
+    ("nls-table", "fast", {"entries": 1024}),
+    ("steely-sager", "fast", {"entries": 1024}),
+    ("nls-cache", "reference", {}),
+    ("johnson", "reference", {}),
+]
 
-@pytest.mark.parametrize(
-    "frontend,kwargs",
-    [
-        ("btb", {"entries": 128}),
-        ("nls-table", {"entries": 1024}),
-        ("nls-cache", {}),
-        ("johnson", {}),
-    ],
-)
-def test_engine_throughput(benchmark, frontend, kwargs):
+
+@pytest.mark.parametrize("frontend,engine,kwargs", ENGINE_PARAMS)
+def test_engine_throughput(benchmark, frontend, engine, kwargs):
     trace = generate_trace("gcc", instructions=TRACE_INSTRUCTIONS)
-    config = ArchitectureConfig(frontend=frontend, cache_kb=16, **kwargs)
+    config = ArchitectureConfig(
+        frontend=frontend, cache_kb=16, engine=engine, **kwargs
+    )
 
     def run():
         return config.build().run(trace)
 
     report = benchmark(run)
     assert report.n_breaks > 0
+
+
+def render_performance_md(payload) -> str:
+    """Render the ``docs/PERFORMANCE.md`` speedup table from a
+    ``bench_engine`` payload (schema ``repro-bench/v1``)."""
+    manifest = payload.get("manifest", {})
+    extra = manifest.get("extra") or {}
+    results = payload["results"]
+    lines = [
+        "# Engine performance: fast (vectorised) vs reference",
+        "",
+        "Single-cell throughput of the standardised engine benchmark",
+        "(`python -m repro.harness bench`, program "
+        f"`{extra.get('program', 'gcc')}`, "
+        f"{extra.get('instructions', 0):,} instructions, best of 3).",
+        "The fast engine replays the same trace through the array",
+        "kernels of `repro.predictors.kernels` and produces a",
+        "byte-identical `SimulationReport` (asserted by",
+        "`tests/test_fast_engine.py`); `speedup` is the wall-time",
+        "ratio against the reference per-branch Python loop.",
+        "",
+        "| configuration | reference | fast | speedup |",
+        "|---|---:|---:|---:|",
+    ]
+    for label in sorted(results):
+        if not label.endswith("-fast"):
+            continue
+        reference = results.get(label[: -len("-fast")])
+        fast = results[label]
+        if reference is None:
+            continue
+        lines.append(
+            f"| {label[: -len('-fast')]} "
+            f"| {reference['events_per_s']:,.0f} ev/s "
+            f"| {fast['events_per_s']:,.0f} ev/s "
+            f"| {fast['speedup_vs_reference']:.1f}x |"
+        )
+    lines += [
+        "",
+        "Front-ends outside the fast engine's supported matrix",
+        "(associative caches, NLS-cache/Johnson/coupled front-ends,",
+        "wrong-path modelling) transparently fall back to the",
+        "reference engine — see `repro.fetch.fast_engine` for the",
+        "exact matrix and `docs/ARCHITECTURE.md` for the seam.",
+        "",
+        "Throughput numbers are machine-dependent; regenerate with",
+        "`PYTHONPATH=src python benchmarks/bench_engine_throughput.py`.",
+        f"Recorded on: `{manifest.get('platform', 'unknown')}`, "
+        f"python `{manifest.get('python', 'unknown')}`.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Regenerate ``docs/PERFORMANCE.md`` (and print the table)."""
+    from repro.telemetry.bench import bench_engine
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in argv
+    payload = bench_engine(
+        instructions=15_000 if smoke else TRACE_INSTRUCTIONS,
+        repeats=1 if smoke else 3,
+    )
+    text = render_performance_md(payload)
+    out = pathlib.Path(__file__).resolve().parent.parent / "docs" / "PERFORMANCE.md"
+    out.write_text(text, encoding="utf-8")
+    print(text)
+    print(f"[written -> {out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

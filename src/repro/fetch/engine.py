@@ -68,6 +68,10 @@ class FetchEngine:
     fresh engine should be built per configuration (the harness does).
     """
 
+    #: engine-selection identity stamped into run manifests (the
+    #: vectorised counterpart reports ``"fast"``)
+    engine_name = "reference"
+
     def __init__(
         self,
         cache: InstructionCache,

@@ -1,0 +1,597 @@
+"""Vectorised trace-replay engine.
+
+Produces reports **identical** to :class:`repro.fetch.engine.FetchEngine`
+for the configurations it supports, but replays the trace with NumPy
+array kernels instead of one Python object call per branch.
+
+Why this is possible at all: with wrong-path modelling off (the
+paper's configuration), predictions never feed back into state —
+every structure's evolution (instruction cache, PHT, BTB, NLS table,
+RAS, global history) is a pure function of the trace.  The simulation
+therefore decomposes into independent exact per-structure replays
+followed by one vectorised classification pass:
+
+1. **Flush epochs** — context-switch boundaries partition the trace;
+   all replays key their state on ``(epoch, slot)`` so a flush is just
+   a fresh key space, never a scan.
+2. **Instruction cache** (direct-mapped) — an access hits iff the
+   previous access to the same ``(epoch, set)`` carried the same tag
+   (:func:`~repro.predictors.kernels.previous_same_key`); residency
+   probes are last-access-before queries
+   (:func:`~repro.predictors.kernels.last_write_lookup`).
+3. **Front-end tables** (BTB / NLS / Steely–Sager) — last-write-wins
+   slots under the engine's one-block update delay: the write from
+   break *i* is visible to queries at breaks *j > i* in the same
+   epoch, and a flush at ``i + 1`` drops it entirely (matching the
+   reference's ``pending`` hand-off exactly).
+4. **gshare PHT** — per-conditional history registers come from
+   shifted masked adds; 2-bit counters are replayed exactly with a
+   segmented clamp-add scan
+   (:func:`~repro.predictors.kernels.counter_scan`).
+5. **RAS** — a compact Python walk over calls/returns/flushes only
+   (a tiny fraction of events).
+6. **Classification** — the engine's §5.2 rule table, applied as
+   boolean masks; the attribution collector (when enabled) replays
+   the per-break observation stream so its snapshot is byte-identical.
+
+Configurations outside the supported matrix (associative caches,
+NLS-cache/Johnson/coupled-BTB front-ends, non-gshare direction
+predictors, wrong-path modelling) fall back to the reference engine —
+see :func:`unsupported_reason` and ``ArchitectureConfig.build``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.fetch.attribution import (
+    CAUSE_BTB_WRONG_TARGET,
+    CAUSE_DIRECTION,
+    CAUSE_FRONTEND_MISS,
+    CAUSE_NLS_DISPLACED,
+    CAUSE_NLS_TYPE_MISMATCH,
+    CAUSE_NLS_WRONG_LINE,
+    CAUSE_RAS_MISPOP,
+    AttributionCollector,
+)
+from repro.core.nls_entry import MISMATCH_CAUSES
+from repro.isa.branches import BranchKind
+from repro.metrics.counters import SimulationCounters
+from repro.metrics.report import SimulationReport
+from repro.predictors import kernels
+from repro.telemetry.core import get_registry
+from repro.workloads.trace import Trace
+
+_NOT_A_BRANCH = int(BranchKind.NOT_A_BRANCH)
+_CONDITIONAL = int(BranchKind.CONDITIONAL)
+_UNCONDITIONAL = int(BranchKind.UNCONDITIONAL)
+_CALL = int(BranchKind.CALL)
+_RETURN = int(BranchKind.RETURN)
+_INDIRECT = int(BranchKind.INDIRECT)
+
+#: branch kind -> NLS type / mechanism value (0 stands in for "no
+#: entry"; the non-zero values are shared with NLSEntryType)
+_KIND_TO_MECH = np.array([0, 2, 3, 3, 1, 3], dtype=np.int64)
+
+#: integer cause codes used by the vectorised classification pass;
+#: index 0 is "correct" (no cause)
+_CAUSE_STRINGS: Tuple[Optional[str], ...] = (
+    None,
+    CAUSE_DIRECTION,
+    CAUSE_FRONTEND_MISS,
+    CAUSE_BTB_WRONG_TARGET,
+    CAUSE_NLS_WRONG_LINE,
+    CAUSE_NLS_DISPLACED,
+    CAUSE_NLS_TYPE_MISMATCH,
+    CAUSE_RAS_MISPOP,
+)
+_C_DIRECTION = 1
+_C_FRONTEND_MISS = 2
+_C_BTB_WRONG_TARGET = 3
+_C_NLS_WRONG_LINE = 4
+_C_NLS_DISPLACED = 5
+_C_NLS_TYPE_MISMATCH = 6
+_C_RAS_MISPOP = 7
+
+#: front-ends with a vectorised replay
+_SUPPORTED_FRONTENDS = ("btb", "nls-table", "steely-sager", "oracle", "fall-through")
+
+
+def unsupported_reason(config) -> Optional[str]:
+    """Why *config* cannot run on the fast engine (``None`` = it can).
+
+    The harness uses this to fall back to the reference engine
+    transparently; the reason string is stamped into the run manifest
+    so fallbacks are observable.
+    """
+    if config.frontend not in _SUPPORTED_FRONTENDS:
+        return f"frontend {config.frontend!r} has no vectorised replay"
+    if config.cache_assoc != 1:
+        return "associative instruction caches need the reference engine"
+    if config.frontend == "btb" and config.btb_assoc != 1:
+        return "associative BTBs need the reference engine"
+    if config.direction != "gshare":
+        return f"direction predictor {config.direction!r} has no vectorised replay"
+    if config.model_wrong_path:
+        return "wrong-path modelling feeds predictions back into cache state"
+    return None
+
+
+def _frontend_name(config) -> str:
+    """The reference front-end's ``name`` for this config (labels)."""
+    if config.frontend == "btb":
+        return f"btb-{config.entries}e-{config.btb_assoc}w"
+    if config.frontend == "nls-table":
+        return f"nls-table-{config.entries}e"
+    if config.frontend == "steely-sager":
+        return f"steely-sager-{config.entries}e"
+    return config.frontend
+
+
+class FastEngine:
+    """Vectorised drop-in for :class:`~repro.fetch.engine.FetchEngine`.
+
+    Built from an :class:`~repro.harness.config.ArchitectureConfig`
+    (via ``config.build()`` when ``config.engine == "fast"``); exposes
+    the same :meth:`run` contract and produces identical
+    :class:`~repro.metrics.report.SimulationReport` objects.
+    """
+
+    engine_name = "fast"
+
+    def __init__(self, config) -> None:
+        reason = unsupported_reason(config)
+        if reason is not None:
+            raise ValueError(f"config not supported by the fast engine: {reason}")
+        self.config = config
+        self.penalties = config.penalties
+        self.flush_interval = config.flush_interval
+        self.frontend_name = _frontend_name(config)
+        self.uses_ras = True
+        self.attribution = (
+            AttributionCollector(sample=config.attribution_sample)
+            if config.attribution
+            else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        label: Optional[str] = None,
+        warmup_fraction: float = 0.0,
+    ) -> SimulationReport:
+        """Simulate *trace* and return the derived report.
+
+        Mirrors ``FetchEngine.run`` exactly: same warmup semantics,
+        same telemetry span and per-phase counters, same report
+        construction — the differential-equivalence tests assert the
+        results are identical object-for-object.
+        """
+        registry = get_registry()
+        run_label = label if label is not None else self.frontend_name
+        with registry.span(
+            "engine.run",
+            label=run_label,
+            program=trace.name,
+            frontend=self.frontend_name,
+        ):
+            counters, stats, accesses = self._simulate(trace, warmup_fraction)
+        if registry.enabled:
+            kinds = trace.kinds
+            blocks = len(kinds)
+            predicts = blocks - kinds.count(_NOT_A_BRANCH)
+            ras_ops = kinds.count(_CALL) + kinds.count(_RETURN)
+            registry.counter("engine.blocks_decoded").add(blocks)
+            registry.counter("engine.icache_probes").add(accesses)
+            registry.counter("engine.frontend_predicts").add(predicts)
+            registry.counter("engine.ras_ops").add(ras_ops)
+        collector = self.attribution
+        if collector is not None and registry.enabled:
+            for cause_name, count in collector.causes.items():
+                if count:
+                    registry.counter(f"engine.cause.{cause_name}").add(count)
+            registry.histogram("engine.penalty_gap").absorb(collector.gap_histogram)
+        return SimulationReport.from_counters(
+            counters,
+            label=run_label,
+            program=trace.name,
+            penalties=self.penalties,
+            frontend_stats=stats,
+            attribution=collector.snapshot() if collector is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _empty_stats(self) -> Optional[dict]:
+        """The mismatch-cause histogram an untouched front-end reports."""
+        if self.config.frontend in ("nls-table", "steely-sager"):
+            return {cause: 0 for cause in MISMATCH_CAUSES}
+        return None
+
+    def _flush_epochs(self, counts: np.ndarray) -> Tuple[np.ndarray, list]:
+        """Per-event flush-epoch ids and the list of flush events.
+
+        A flush triggers at the first event whose cumulative count
+        since the previous flush reaches ``flush_interval``, *before*
+        that event's fetches (so the event itself runs on cold state).
+        """
+        n = len(counts)
+        interval = self.flush_interval
+        flush_events: list = []
+        epoch = np.zeros(n, dtype=np.int64)
+        if interval is None or n == 0:
+            return epoch, flush_events
+        cumulative = np.cumsum(counts)
+        base = 0
+        while True:
+            position = int(np.searchsorted(cumulative, base + interval, side="left"))
+            if position >= n:
+                break
+            flush_events.append(position)
+            base = int(cumulative[position])
+        if flush_events:
+            epoch = np.searchsorted(
+                np.asarray(flush_events, dtype=np.int64),
+                np.arange(n, dtype=np.int64),
+                side="right",
+            )
+        return epoch, flush_events
+
+    def _replay_ras(
+        self,
+        break_events: np.ndarray,
+        break_kinds: np.ndarray,
+        fall_throughs: np.ndarray,
+        flush_events: list,
+    ) -> np.ndarray:
+        """Exact RAS replay: per-break popped address (-1 = underflow).
+
+        Walks only calls, returns and flushes in event order — a tiny
+        fraction of the trace — reproducing the circular buffer's
+        overwrite-on-overflow behaviour.
+        """
+        popped = np.full(len(break_events), -1, dtype=np.int64)
+        interesting = np.nonzero((break_kinds == _CALL) | (break_kinds == _RETURN))[0]
+        capacity = self.config.ras_entries
+        slots = [0] * capacity
+        top = 0
+        depth = 0
+        flush_cursor = 0
+        n_flushes = len(flush_events)
+        events = break_events[interesting].tolist()
+        kinds = break_kinds[interesting].tolist()
+        values = fall_throughs[interesting].tolist()
+        for i, event in enumerate(events):
+            while flush_cursor < n_flushes and flush_events[flush_cursor] <= event:
+                top = 0
+                depth = 0
+                flush_cursor += 1
+            if kinds[i] == _CALL:
+                slots[top] = values[i]
+                top = (top + 1) % capacity
+                if depth < capacity:
+                    depth += 1
+            else:  # RETURN: pop during classification
+                if depth:
+                    top = (top - 1) % capacity
+                    depth -= 1
+                    popped[interesting[i]] = slots[top]
+        return popped
+
+    # ------------------------------------------------------------------
+
+    def _simulate(
+        self, trace: Trace, warmup_fraction: float = 0.0
+    ) -> Tuple[SimulationCounters, Optional[dict], int]:
+        """Replay *trace*; returns (counters, frontend stats, accesses)."""
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        config = self.config
+        collector = self.attribution
+        if collector is not None:
+            collector.reset()
+        counters = SimulationCounters()
+        packed = trace.packed()
+        n = len(packed["starts"])
+        if n == 0:
+            return counters, self._empty_stats(), 0
+
+        starts = packed["starts"]
+        counts = packed["counts"]
+        kinds = packed["kinds"].astype(np.int64)
+        takens = packed["takens"]
+        targets = packed["targets"]
+
+        geometry = config.geometry
+        line_bytes = geometry.line_bytes
+        offset_bits = geometry.offset_bits
+        n_sets = geometry.n_sets
+        tag_shift = geometry.offset_bits + geometry.set_index_bits
+
+        epoch, flush_events = self._flush_epochs(counts)
+        warmup_boundary = int(n * warmup_fraction)
+
+        # --- instruction cache replay (direct-mapped) -----------------
+        branch_pc = starts + (counts - 1) * 4
+        first_line = starts & ~(line_bytes - 1)
+        last_line = branch_pc & ~(line_bytes - 1)
+        lines_per_event = ((last_line - first_line) >> offset_bits) + 1
+        row_ids, offsets, first_access = kernels.ragged_ranges(lines_per_event)
+        access_addr = first_line[row_ids] + (offsets << offset_bits)
+        access_set = (access_addr >> offset_bits) & (n_sets - 1)
+        access_tag = access_addr >> tag_shift
+        access_key = epoch[row_ids] * n_sets + access_set
+        total_accesses = len(access_addr)
+        access_index = kernels.LastWriteIndex(
+            access_key, np.arange(total_accesses, dtype=np.int64)
+        )
+        previous = access_index.previous_in_key()
+        access_hit = (previous >= 0) & (
+            access_tag[np.maximum(previous, 0)] == access_tag
+        )
+        end_access = first_access + lines_per_event - 1
+
+        base_access = int(first_access[warmup_boundary]) if warmup_boundary else 0
+        counters.icache_accesses = total_accesses - base_access
+        counters.icache_misses = int(np.count_nonzero(~access_hit[base_access:]))
+        counters.n_instructions = int(counts[warmup_boundary:].sum())
+
+        # --- break columns --------------------------------------------
+        break_events = np.nonzero(kinds != _NOT_A_BRANCH)[0]
+        nb = len(break_events)
+        if nb == 0:
+            return counters, self._empty_stats(), total_accesses
+        bkind = kinds[break_events]
+        btaken = np.asarray(takens[break_events], dtype=bool)
+        btarget = targets[break_events]
+        bpc = branch_pc[break_events]
+        bft = bpc + 4
+        bword = bpc >> 2
+        bepoch = epoch[break_events]
+        query_time = break_events - 1  # writes land one block late
+
+        # --- front-end replay -----------------------------------------
+        mech = np.zeros(nb, dtype=np.int64)
+        fe_match = np.zeros(nb, dtype=bool)
+        fe_cause = np.zeros(nb, dtype=np.int64)
+        lf_eq = None  # NLS only: line-field comparison (for the histogram)
+        frontend = config.frontend
+        if frontend == "oracle":
+            mech = _KIND_TO_MECH[bkind]
+            fe_match[:] = True
+        elif frontend == "btb":
+            n_btb_sets = config.entries // config.btb_assoc
+            set_bits = n_btb_sets.bit_length() - 1
+            btb_set = bword & (n_btb_sets - 1)
+            btb_tag = bword >> set_bits
+            if config.btb_allocate == "all":
+                write_mask = btaken | (btarget != 0)
+            else:
+                write_mask = btaken
+            writers = np.nonzero(write_mask)[0]
+            if len(writers):
+                last = kernels.last_write_lookup(
+                    bepoch[writers] * n_btb_sets + btb_set[writers],
+                    break_events[writers],
+                    bepoch * n_btb_sets + btb_set,
+                    query_time,
+                )
+                source = writers[np.maximum(last, 0)]
+                hit = (last >= 0) & (btb_tag[source] == btb_tag)
+                mech = np.where(hit, _KIND_TO_MECH[bkind[source]], 0)
+                fe_match = hit & (btarget[source] == btarget)
+            fe_cause[:] = _C_BTB_WRONG_TARGET
+        elif frontend in ("nls-table", "steely-sager"):
+            entries = config.entries
+            slot_key = bepoch * entries + (bword & (entries - 1))
+            # one sorted index answers both queries: the type field
+            # (last write of any kind) and the line field (last
+            # *taken* write), under the one-block visibility delay
+            slot_index = kernels.LastWriteIndex(slot_key, break_events)
+            slot_pos = slot_index.positions(slot_key, query_time)
+            last_any = slot_index.resolve(slot_pos)
+            has_entry = last_any >= 0
+            slot_kind = bkind[np.maximum(last_any, 0)]
+            mech = np.where(has_entry, _KIND_TO_MECH[slot_kind], 0)
+            line_field_mask = (1 << geometry.line_field_bits) - 1
+            target_lf = (btarget >> 2) & line_field_mask
+            # line field: only taken writes (Steely–Sager: indirect
+            # branches write the shared goto register instead)
+            if frontend == "steely-sager":
+                line_flag = btaken & (bkind != _INDIRECT)
+            else:
+                line_flag = btaken
+            filtered = slot_index.filtered_last(line_flag)
+            last_line_w = np.where(
+                slot_pos >= 0, filtered[np.maximum(slot_pos, 0)], -1
+            )
+            stored_lf = np.where(
+                last_line_w >= 0,
+                (btarget[np.maximum(last_line_w, 0)] >> 2) & line_field_mask,
+                0,
+            )
+            if frontend == "steely-sager":
+                indirect_slot = has_entry & (slot_kind == _INDIRECT)
+                goto_writers = np.nonzero(btaken & (bkind == _INDIRECT))[0]
+                if len(goto_writers):
+                    last_goto = kernels.last_write_lookup(
+                        bepoch[goto_writers],
+                        break_events[goto_writers],
+                        bepoch,
+                        query_time,
+                    )
+                    goto_valid = last_goto >= 0
+                    goto_lf = np.where(
+                        goto_valid,
+                        (btarget[goto_writers[np.maximum(last_goto, 0)]] >> 2)
+                        & line_field_mask,
+                        0,
+                    )
+                else:
+                    goto_valid = np.zeros(nb, dtype=bool)
+                    goto_lf = np.zeros(nb, dtype=np.int64)
+                stored_lf = np.where(indirect_slot, goto_lf, stored_lf)
+                # indirect-marked slot with an invalid goto register
+                # yields an INVALID prediction (no mechanism at all)
+                mech = np.where(indirect_slot & ~goto_valid, 0, mech)
+            # residency probe at classification time (after this
+            # event's own line fetches), reusing the access index
+            probe_key = bepoch * n_sets + ((btarget >> offset_bits) & (n_sets - 1))
+            last_access = access_index.query(probe_key, end_access[break_events])
+            resident = (last_access >= 0) & (
+                access_tag[np.maximum(last_access, 0)] == (btarget >> tag_shift)
+            )
+            lf_eq = stored_lf == target_lf
+            fe_match = lf_eq & resident
+            fe_cause = np.where(lf_eq, _C_NLS_DISPLACED, _C_NLS_WRONG_LINE)
+        # fall-through: mech stays 0 everywhere
+
+        # --- gshare replay --------------------------------------------
+        pht_entries = config.pht_entries
+        pht_mask = pht_entries - 1
+        history_bits = pht_entries.bit_length() - 1
+        cond_positions = np.nonzero(bkind == _CONDITIONAL)[0]
+        cond_events = break_events[cond_positions]
+        cond_taken = btaken[cond_positions].astype(np.int64)
+        cond_epoch = bepoch[cond_positions]
+        segment_first = kernels.segment_starts(cond_epoch)
+        history_before = kernels.gshare_histories(
+            cond_taken, segment_first, history_bits
+        )
+        history_after = ((history_before << 1) | cond_taken) & pht_mask
+        cells = (bword[cond_positions] ^ history_before) & pht_mask
+        cell_key = cond_epoch * pht_entries + cells
+        order = np.argsort(cell_key, kind="stable")
+        before_sorted, after_sorted = kernels.counter_scan(
+            cell_key[order], cond_taken[order].astype(bool), 1, 3
+        )
+        state_before = np.empty(len(cond_positions), dtype=np.int64)
+        state_before[order] = before_sorted
+        state_after = np.empty(len(cond_positions), dtype=np.int64)
+        state_after[order] = after_sorted
+        pht_pred = np.zeros(nb, dtype=bool)
+        pht_pred[cond_positions] = state_before >= 2
+
+        # non-conditional breaks whose entry is conditional-typed
+        # consult (but never train) the PHT at its current state
+        consult_pred = np.zeros(nb, dtype=bool)
+        consults = np.nonzero((bkind != _CONDITIONAL) & (mech == 2))[0]
+        if len(consults) and len(cond_positions):
+            events = break_events[consults]
+            prior = np.searchsorted(cond_events, events, side="left") - 1
+            prior_safe = np.maximum(prior, 0)
+            in_epoch = (prior >= 0) & (cond_epoch[prior_safe] == bepoch[consults])
+            history_at = np.where(in_epoch, history_after[prior_safe], 0)
+            query_cell = (bword[consults] ^ history_at) & pht_mask
+            # the counter scan already sorted cell_key — reuse it
+            cell_index = kernels.LastWriteIndex(cell_key, cond_events, order=order)
+            last_update = cell_index.query(
+                bepoch[consults] * pht_entries + query_cell, events - 1
+            )
+            state = np.where(
+                last_update >= 0, state_after[np.maximum(last_update, 0)], 1
+            )
+            consult_pred[consults] = state >= 2
+
+        # --- RAS replay -----------------------------------------------
+        ras_pop = self._replay_ras(break_events, bkind, bft, flush_events)
+
+        # --- classification (the engine's §5.2 rule table) ------------
+        misfetch = np.zeros(nb, dtype=bool)
+        mispredict = np.zeros(nb, dtype=bool)
+        cause = np.zeros(nb, dtype=np.int64)
+        fe_called = np.zeros(nb, dtype=bool)
+
+        is_cond = bkind == _CONDITIONAL
+        is_direct = (bkind == _UNCONDITIONAL) | (bkind == _CALL)
+        is_return = bkind == _RETURN
+        is_indirect = bkind == _INDIRECT
+        mech_none = mech == 0
+        mech_return = mech == 1
+        mech_cond = mech == 2
+        mech_other = mech == 3
+        miss_code = np.where(mech_none, _C_FRONTEND_MISS, _C_NLS_TYPE_MISMATCH)
+
+        def _classify(mask, outcome, code):
+            outcome |= mask
+            np.copyto(cause, code, where=mask)
+
+        # conditionals: direction first, then the fetch path
+        direction_wrong = is_cond & (pht_pred != btaken)
+        _classify(direction_wrong, mispredict, _C_DIRECTION)
+        cond_taken_right = is_cond & ~direction_wrong & btaken
+        entry_steered = cond_taken_right & (mech_cond | mech_other)
+        fe_called |= entry_steered
+        _classify(entry_steered & ~fe_match, misfetch, fe_cause)
+        _classify(cond_taken_right & (mech_none | mech_return), misfetch, miss_code)
+        cond_nt = is_cond & ~direction_wrong & ~btaken
+        _classify(cond_nt & (mech_other | mech_return), misfetch, _C_NLS_TYPE_MISMATCH)
+
+        # unconditional / call
+        direct_other = is_direct & mech_other
+        fe_called |= direct_other
+        _classify(direct_other & ~fe_match, misfetch, fe_cause)
+        direct_cond = is_direct & mech_cond
+        _classify(direct_cond & ~consult_pred, misfetch, _C_NLS_TYPE_MISMATCH)
+        direct_consulted = direct_cond & consult_pred
+        fe_called |= direct_consulted
+        _classify(direct_consulted & ~fe_match, misfetch, fe_cause)
+        _classify(is_direct & (mech_none | mech_return), misfetch, miss_code)
+
+        # returns (every supported front-end drives the RAS)
+        pop_matches = ras_pop == btarget
+        _classify(is_return & mech_return & ~pop_matches, mispredict, _C_RAS_MISPOP)
+        return_unidentified = is_return & ~mech_return
+        _classify(return_unidentified & pop_matches, misfetch, miss_code)
+        _classify(return_unidentified & ~pop_matches, mispredict, _C_RAS_MISPOP)
+
+        # indirect: like unconditional, but failures are mispredicts
+        indirect_other = is_indirect & mech_other
+        fe_called |= indirect_other
+        _classify(indirect_other & ~fe_match, mispredict, fe_cause)
+        indirect_cond = is_indirect & mech_cond
+        _classify(indirect_cond & ~consult_pred, mispredict, _C_NLS_TYPE_MISMATCH)
+        indirect_consulted = indirect_cond & consult_pred
+        fe_called |= indirect_consulted
+        _classify(indirect_consulted & ~fe_match, mispredict, fe_cause)
+        _classify(is_indirect & (mech_none | mech_return), mispredict, miss_code)
+
+        # --- front-end mismatch histogram (whole run, warmup incl.) ---
+        stats = self._empty_stats()
+        if stats is not None and lf_eq is not None:
+            failed = fe_called & ~fe_match
+            stats["line-field"] = int(np.count_nonzero(failed & ~lf_eq))
+            stats["displaced"] = int(np.count_nonzero(failed & lf_eq))
+
+        # --- counters (post-warmup events only) -----------------------
+        counted = break_events >= warmup_boundary
+        executed = np.bincount(bkind[counted], minlength=6)
+        misfetched = np.bincount(bkind[counted & misfetch], minlength=6)
+        mispredicted = np.bincount(bkind[counted & mispredict], minlength=6)
+        for kind, kind_counter in counters.by_kind.items():
+            kind_counter.executed = int(executed[int(kind)])
+            kind_counter.misfetched = int(misfetched[int(kind)])
+            kind_counter.mispredicted = int(mispredicted[int(kind)])
+
+        # --- attribution replay ---------------------------------------
+        if collector is not None:
+            observe = collector.observe
+            outcome = misfetch.astype(np.int64) + 2 * mispredict.astype(np.int64)
+            sel = np.nonzero(counted)[0]
+            pcs = bpc[sel].tolist()
+            kinds_list = bkind[sel].tolist()
+            takens_list = btaken[sel].tolist()
+            outcomes = outcome[sel].tolist()
+            codes = cause[sel].tolist()
+            underflows = (ras_pop[sel] < 0).tolist()
+            for pc, kind, taken, out, code, under in zip(
+                pcs, kinds_list, takens_list, outcomes, codes, underflows
+            ):
+                detail = {"underflow": under} if code == _C_RAS_MISPOP else None
+                observe(pc, kind, taken, out, _CAUSE_STRINGS[code], detail)
+
+        return counters, stats, total_accesses

@@ -120,6 +120,7 @@ class BTBFrontEnd:
         self.name = f"btb-{btb.entries}e-{btb.associativity}w"
 
     def predict(self, pc: int, line_way: int):
+        """Predict (mechanism, handle) for the break at *pc* — see :class:`FetchFrontEnd`."""
         entry = self.btb.lookup(pc)
         if entry is None:
             return None, None
@@ -128,6 +129,7 @@ class BTBFrontEnd:
     def target_matches(self, handle, target: int) -> bool:
         # a BTB entry stores the full address: no residency or way
         # checks — this is the BTB's advantage on cache misses (§7)
+        """Verify the stored prediction against the actual *target*."""
         if handle is None:
             self.last_mismatch_cause = CAUSE_FRONTEND_MISS
             return False
@@ -149,6 +151,7 @@ class BTBFrontEnd:
         fall_through: int,
         next_way: int,
     ) -> None:
+        """Train on the resolved break (the engine applies this one block late)."""
         if taken:
             self.btb.record_taken(pc, kind, target)
         else:
@@ -175,12 +178,14 @@ class NLSTableFrontEnd:
         self.last_mismatch_cause: Optional[str] = None
 
     def predict(self, pc: int, line_way: int):
+        """Predict (mechanism, handle) for the break at *pc* — see :class:`FetchFrontEnd`."""
         prediction = self.table.lookup(pc)
         if not prediction.valid:
             return None, None
         return int(prediction.type), prediction
 
     def target_matches(self, handle, target: int) -> bool:
+        """Verify the stored prediction against the actual *target*."""
         if handle is None:
             self.mismatch_causes["invalid"] += 1
             self.last_mismatch_cause = CAUSE_FRONTEND_MISS
@@ -201,6 +206,7 @@ class NLSTableFrontEnd:
         fall_through: int,
         next_way: int,
     ) -> None:
+        """Train on the resolved break (the engine applies this one block late)."""
         self.table.update(pc, kind, taken, target, next_way)
 
     def flush(self) -> None:
@@ -226,12 +232,14 @@ class NLSCacheFrontEnd:
         self.last_mismatch_cause: Optional[str] = None
 
     def predict(self, pc: int, line_way: int):
+        """Predict (mechanism, handle) for the break at *pc* — see :class:`FetchFrontEnd`."""
         prediction = self.nls_cache.lookup(pc, line_way)
         if not prediction.valid:
             return None, None
         return int(prediction.type), prediction
 
     def target_matches(self, handle, target: int) -> bool:
+        """Verify the stored prediction against the actual *target*."""
         if handle is None:
             self.mismatch_causes["invalid"] += 1
             self.last_mismatch_cause = CAUSE_FRONTEND_MISS
@@ -252,6 +260,7 @@ class NLSCacheFrontEnd:
         fall_through: int,
         next_way: int,
     ) -> None:
+        """Train on the resolved break (the engine applies this one block late)."""
         self.nls_cache.update(pc, kind, taken, target, next_way)
 
     def flush(self) -> None:
@@ -275,6 +284,7 @@ class JohnsonFrontEnd:
         self.last_mismatch_cause: Optional[str] = None
 
     def predict(self, pc: int, line_way: int):
+        """Predict (mechanism, handle) for the break at *pc* — see :class:`FetchFrontEnd`."""
         prediction = self.johnson.lookup(pc, line_way)
         if not prediction.valid:
             return None, prediction
@@ -282,6 +292,7 @@ class JohnsonFrontEnd:
         return MECH_OTHER, prediction
 
     def target_matches(self, handle, target: int) -> bool:
+        """Verify the stored prediction against the actual *target*."""
         prediction: SuccessorPrediction = handle
         if prediction is None or not prediction.valid:
             self.last_mismatch_cause = CAUSE_FRONTEND_MISS
@@ -313,6 +324,7 @@ class JohnsonFrontEnd:
     ) -> None:
         # Johnson updates on every execution: taken writes the target
         # pointer, not-taken the fall-through pointer
+        """Train on the resolved break (the engine applies this one block late)."""
         self.johnson.update(
             pc,
             kind,
@@ -338,12 +350,15 @@ class OracleFrontEnd:
     last_mismatch_cause: Optional[str] = None
 
     def predict(self, pc: int, line_way: int):
+        """Predict (mechanism, handle) for the break at *pc* — see :class:`FetchFrontEnd`."""
         return MECH_OTHER, None
 
     def target_matches(self, handle, target: int) -> bool:
+        """Verify the stored prediction against the actual *target*."""
         return True
 
     def update(self, pc, kind, taken, target, fall_through, next_way) -> None:
+        """Train on the resolved break (the engine applies this one block late)."""
         pass
 
     def __init__(self) -> None:
@@ -360,12 +375,15 @@ class FallThroughFrontEnd:
     last_mismatch_cause: Optional[str] = CAUSE_FRONTEND_MISS
 
     def predict(self, pc: int, line_way: int):
+        """Predict (mechanism, handle) for the break at *pc* — see :class:`FetchFrontEnd`."""
         return None, None
 
     def target_matches(self, handle, target: int) -> bool:
+        """Verify the stored prediction against the actual *target*."""
         return False
 
     def update(self, pc, kind, taken, target, fall_through, next_way) -> None:
+        """Train on the resolved break (the engine applies this one block late)."""
         pass
 
 
@@ -390,12 +408,14 @@ class CoupledBTBFrontEnd:
         self.name = f"coupled-btb-{btb.entries}e-{btb.associativity}w"
 
     def predict(self, pc: int, line_way: int):
+        """Predict (mechanism, handle) for the break at *pc* — see :class:`FetchFrontEnd`."""
         entry = self.btb.lookup(pc)
         if entry is None:
             return None, None
         return _KIND_TO_MECH[entry.kind], entry
 
     def target_matches(self, handle, target: int) -> bool:
+        """Verify the stored prediction against the actual *target*."""
         if handle is None:
             self.last_mismatch_cause = CAUSE_FRONTEND_MISS
             return False
@@ -426,6 +446,7 @@ class CoupledBTBFrontEnd:
         fall_through: int,
         next_way: int,
     ) -> None:
+        """Train on the resolved break (the engine applies this one block late)."""
         if taken:
             self.btb.record_taken(pc, kind, target)
         else:

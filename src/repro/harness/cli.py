@@ -18,6 +18,10 @@ backend: 1 (the default) is the in-process serial backend,
 bit-identical to the historical behaviour; any other value pools the
 requested experiments' cells into one deduplicated run plan and
 executes it on the multiprocessing backend (0 = one worker per CPU).
+``--engine fast`` swaps every cell onto the vectorised replay engine
+(:mod:`repro.fetch.fast_engine`) — identical reports, several times
+the throughput; unsupported configs silently fall back to the
+reference loop with the reason stamped in the run manifest.
 
 ``bench`` runs the standardised engine-throughput and parallel-sweep
 benchmarks (see :mod:`repro.telemetry.bench`), writes schema-versioned
@@ -58,10 +62,10 @@ import time
 import warnings
 from typing import Callable, List, Optional
 
-from repro.harness.config import FRONTENDS
+from repro.harness.config import ENGINES, FRONTENDS
 from repro.harness.experiments import EXPERIMENTS, SPECS, ExperimentResult
 from repro.harness.runner import ExecutionPolicy, RunPlan
-from repro.harness.spec import run_plans
+from repro.harness.spec import run_plans, with_engine
 from repro.harness.tables import format_seconds, format_table
 from repro.telemetry.core import Registry, use
 from repro.telemetry.sinks import write_chrome_trace, write_events
@@ -116,6 +120,18 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="trace length override (default: each profile's calibrated length)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help=(
+            "simulation engine: 'reference' (the per-branch Python "
+            "loop, default) or 'fast' (the vectorised replay — "
+            "identical reports, several times the throughput; configs "
+            "outside its supported matrix fall back to the reference "
+            "engine, recorded in the run manifest)"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -417,6 +433,7 @@ def _run_attribute(args: argparse.Namespace) -> int:
                 frontend=frontend,
                 attribution=True,
                 attribution_sample=args.attr_sample,
+                engine=args.engine,
             ),
             program=program,
             instructions=instructions,
@@ -542,7 +559,11 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.out:
         os.makedirs(args.out, exist_ok=True)
     policy = _build_policy(args)
-    if getattr(args, "requested_jobs", args.jobs) == 1 and policy is None:
+    if (
+        getattr(args, "requested_jobs", args.jobs) == 1
+        and policy is None
+        and args.engine == "reference"
+    ):
         # serial path: run each experiment's own plan in-process,
         # bit-identical to the historical per-figure loops
         for name in names:
@@ -560,11 +581,14 @@ def _dispatch(args: argparse.Namespace) -> int:
     # --jobs != 1, in-process for a resilient --jobs 1 run (both
     # backends share identical retry/quarantine/resume semantics)
     started = time.time()
-    plans = [
-        SPECS[name].plan(**_experiment_kwargs(SPECS[name].build, args))
-        for name in names
-        if name in SPECS
-    ]
+    plans = with_engine(
+        [
+            SPECS[name].plan(**_experiment_kwargs(SPECS[name].build, args))
+            for name in names
+            if name in SPECS
+        ],
+        args.engine,
+    )
     backend = "serial" if args.jobs == 1 else "process"
     jobs = None if args.jobs < 1 else args.jobs
     results, plan = run_plans(plans, backend=backend, jobs=jobs, policy=policy)

@@ -41,6 +41,12 @@ FRONTENDS: Tuple[str, ...] = (
     "fall-through",
 )
 
+#: simulation engines: the pure-Python reference loop, or the
+#: vectorised replay (which falls back to the reference for
+#: configurations outside its supported matrix — see
+#: :func:`repro.fetch.fast_engine.unsupported_reason`)
+ENGINES: Tuple[str, ...] = ("reference", "fast")
+
 
 @dataclass(frozen=True)
 class ArchitectureConfig:
@@ -81,11 +87,19 @@ class ArchitectureConfig:
     attribution: bool = False
     #: keep every ``attribution_sample``-th penalty event in the ring
     attribution_sample: int = 64
+    #: simulation engine: ``"reference"`` (the per-branch Python loop)
+    #: or ``"fast"`` (the vectorised replay of
+    #: :mod:`repro.fetch.fast_engine`); both produce identical reports
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.frontend not in FRONTENDS:
             raise ValueError(
                 f"unknown frontend {self.frontend!r}; expected one of {FRONTENDS}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
         if self.cache_kb < 1:
             raise ValueError("cache size must be at least 1 KB")
@@ -153,8 +167,29 @@ class ArchitectureConfig:
 
     # ------------------------------------------------------------------
 
-    def build(self) -> FetchEngine:
-        """Build a fresh engine (fresh cache and predictor state)."""
+    def build(self):
+        """Build a fresh engine (fresh cache and predictor state).
+
+        ``engine == "fast"`` builds the vectorised
+        :class:`~repro.fetch.fast_engine.FastEngine` when the
+        configuration lies in its supported matrix, and otherwise
+        falls back to the reference engine with the reason recorded on
+        ``engine.engine_fallback`` (the harness stamps it into the run
+        manifest).
+        """
+        if self.engine == "fast":
+            from repro.fetch.fast_engine import FastEngine, unsupported_reason
+
+            reason = unsupported_reason(self)
+            if reason is None:
+                return FastEngine(self)
+            engine = self._build_reference()
+            engine.engine_fallback = reason
+            return engine
+        return self._build_reference()
+
+    def _build_reference(self) -> FetchEngine:
+        """Build the reference per-branch engine for this config."""
         cache = InstructionCache(self.geometry, replacement=self.cache_replacement)
         if self.frontend == "btb":
             frontend = BTBFrontEnd(

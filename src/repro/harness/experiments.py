@@ -98,6 +98,7 @@ def _table1_plan(
     program_names = _programs(programs)
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         lines = [TraceAttributes.header()]
         rows = {}
         for name in program_names:
@@ -144,6 +145,7 @@ def table1(
 
 def _fig3_plan(line_bytes: int = 32) -> ExperimentPlan:
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         model = RBEModel()
         rows: List[Tuple[str, int, float]] = []
         data: Dict[str, float] = {}
@@ -226,6 +228,7 @@ def _fig4_plan(
             )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         chart_rows: List[Tuple[str, float, float]] = []
         data: Dict[str, Dict[str, float]] = {}
         for key, cache_label, label, cells in groups:
@@ -302,6 +305,7 @@ def _fig5_plan(
         )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         chart_rows: List[Tuple[str, float, float]] = []
         data: Dict[str, float] = {}
         for key, label, cells in groups:
@@ -349,6 +353,7 @@ def fig5(
 
 def _fig6_plan() -> ExperimentPlan:
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         model = AccessTimeModel()
         rows = []
         data: Dict[str, float] = {}
@@ -436,6 +441,7 @@ def _fig7_plan(
         grid.append((program, row))
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         sections: List[str] = []
         data: Dict[str, Dict[str, SimulationReport]] = {}
         for program, row in grid:
@@ -506,6 +512,7 @@ def _fig8_plan(
             )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         rows = []
         data: Dict[str, Dict[str, float]] = {}
         for cache_label, name, label, cells in groups:
@@ -583,6 +590,7 @@ def _johnson_plan(
     ]
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         chart_rows = []
         data: Dict[str, float] = {}
         for label, cells in groups:
@@ -649,6 +657,7 @@ def _ablation_nls_cache_plan(
             )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         chart_rows = []
         data: Dict[str, float] = {}
         for label, cells in groups:
@@ -709,6 +718,7 @@ def _ablation_direction_plan(
         )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         chart_rows = []
         data: Dict[str, float] = {}
         for direction, cells in groups:
@@ -764,6 +774,7 @@ def _ablation_layout_plan(
             )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         rows = []
         data: Dict[str, Dict[str, float]] = {}
         for layout, name, cells in groups:
@@ -829,6 +840,7 @@ def _coupled_plan(
             )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         chart_rows = []
         data: Dict[str, float] = {}
         for name, cells in groups:
@@ -877,6 +889,7 @@ def _way_prediction_plan(
     program_names = _programs(programs)
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         from repro.cache.icache import InstructionCache
         from repro.cache.setpred import FallThroughWayPredictor
 
@@ -974,6 +987,7 @@ def _multi_issue_plan(
     }
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         from repro.fetch.multiissue import FetchBandwidthModel
 
         rows = []
@@ -1030,6 +1044,7 @@ def _address_space_plan(
     cache_kb: int = 16,
 ) -> ExperimentPlan:
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         from repro.isa.geometry import AddressSpace
 
         model = RBEModel()
@@ -1102,6 +1117,7 @@ def _steely_sager_plan(
             )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         rows = []
         data: Dict[str, Dict[str, float]] = {}
         for program, name, cell in grid:
@@ -1160,6 +1176,7 @@ def _calibration_plan(
     program_names = _programs(programs)
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         from repro.workloads.validation import summarise
 
         measured = {}
@@ -1240,6 +1257,7 @@ def _misfetch_causes_plan(
         groups.append((kb, _cells(config, program_names, instructions, warmup)))
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         rows = []
         data: Dict[str, Dict[str, int]] = {}
         for kb, cells in groups:
@@ -1310,6 +1328,7 @@ def _btb_allocation_plan(
             )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         chart_rows = []
         data: Dict[str, float] = {}
         for label, cells in groups:
@@ -1353,6 +1372,7 @@ def _ras_depth_plan(
         groups.append((depth, _cells(config, program_names, instructions, warmup)))
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         from repro.isa.branches import BranchKind
 
         rows = []
@@ -1409,6 +1429,7 @@ def _line_size_plan(
         )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         rows = []
         data: Dict[int, Dict[str, float]] = {}
         model = RBEModel()
@@ -1478,6 +1499,7 @@ def _context_switch_plan(
             )
 
     def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
         rows = []
         data: Dict[str, Dict[str, float]] = {}
         for label, name, cells in groups:

@@ -290,7 +290,9 @@ def run_request(
     unless a registry is active — see :mod:`repro.telemetry`), and the
     report carries both a :class:`RunMetadata` and a
     :class:`~repro.telemetry.manifest.RunManifest` (*manifest_extra*
-    lands in the manifest's ``extra`` field)."""
+    lands in the manifest's ``extra`` field, alongside the stamped
+    ``engine`` that actually ran the cell and — when a ``fast`` config
+    fell back to the reference loop — the ``engine_fallback`` reason)."""
     registry = get_registry()
     config = request.config
     label = config.label()
@@ -325,13 +327,18 @@ def run_request(
         wall_time_s=wall,
         pid=os.getpid(),
     )
+    extra = dict(manifest_extra or {})
+    extra["engine"] = getattr(engine, "engine_name", "reference")
+    fallback = getattr(engine, "engine_fallback", None)
+    if fallback is not None:
+        extra["engine_fallback"] = fallback
     manifest = manifest_module.collect(
         config_label=label,
         program=request.program,
         trace_key=request.resolved_trace_key(),
         wall_time_s=wall,
         cpu_time_s=cpu,
-        extra=manifest_extra,
+        extra=extra,
     )
     return replace(report, meta=meta, manifest=manifest)
 

@@ -18,7 +18,7 @@ simply declare zero cells and do all their work in ``finish``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.harness.runner import (
@@ -114,6 +114,58 @@ def _with_placeholders(
     for request in plan.failures:
         filled[request] = quarantined_report(request)
     return filled
+
+
+def with_engine(
+    plans: Sequence[ExperimentPlan], engine: str
+) -> List[ExperimentPlan]:
+    """Copies of *plans* with every cell's config switched to *engine*.
+
+    The engine-selection seam of the harness: plan builders declare
+    *what* to simulate with the default (reference) engine, and the
+    CLI rewrites the materialised cells when ``--engine fast`` is
+    requested — so specs stay engine-agnostic and dedup keys still
+    collapse identical cells within one engine choice.  ``finish``
+    renderers close over the *original* requests they built, so each
+    rewritten plan's renderer receives the reports aliased under both
+    the rewritten and the original (reference-engine) keys.
+    """
+    if engine == "reference":
+        return list(plans)
+    return [
+        replace(
+            plan,
+            cells=tuple(
+                replace(cell, config=replace(cell.config, engine=engine))
+                for cell in plan.cells
+            ),
+            finish=_engine_transparent(plan.finish),
+        )
+        for plan in plans
+    ]
+
+
+def _engine_transparent(
+    finish: Callable[[ReportMap], ExperimentResult]
+) -> Callable[[ReportMap], ExperimentResult]:
+    """Wrap a renderer so engine-rewritten reports are also reachable
+    under the reference-engine request keys the renderer captured."""
+
+    def wrapper(reports: ReportMap) -> ExperimentResult:
+        """Alias engine-rewritten reports under reference-engine keys."""
+        aliased: Dict[RunRequest, SimulationReport] = dict(reports)
+        for request, report in reports.items():
+            if request.config.engine != "reference":
+                aliased.setdefault(
+                    replace(
+                        request,
+                        config=replace(request.config, engine="reference"),
+                    ),
+                    report,
+                )
+        return finish(aliased)
+
+    return wrapper
 
 
 def run_plans(

@@ -83,27 +83,48 @@ def bench_engine(
 
     Each configuration simulates the same memoised *program* trace;
     the best (minimum) wall time of *repeats* rounds is reported,
-    converted to events/s and instructions/s.
+    converted to events/s and instructions/s.  Front-ends inside the
+    vectorised engine's supported matrix are additionally timed with
+    ``engine="fast"`` under a ``<frontend>-fast`` label whose
+    ``speedup_vs_reference`` records the wall-time ratio — the number
+    ``docs/PERFORMANCE.md`` and the fast-engine acceptance gate key on.
     """
+    from repro.fetch.fast_engine import unsupported_reason
     from repro.harness.config import ArchitectureConfig
     from repro.workloads.corpus import generate_trace
 
     trace = generate_trace(program, instructions=instructions)
     events = len(trace.starts)
     results: Dict[str, Dict[str, float]] = {}
-    for frontend, kwargs in frontends:
-        config = ArchitectureConfig(frontend=frontend, cache_kb=16, **kwargs)
+
+    def _best_wall(config: "ArchitectureConfig") -> float:
         best = float("inf")
         for _ in range(max(1, repeats)):
             engine = config.build()
             started = time.perf_counter()
             engine.run(trace)
             best = min(best, time.perf_counter() - started)
+        return best
+
+    for frontend, kwargs in frontends:
+        config = ArchitectureConfig(frontend=frontend, cache_kb=16, **kwargs)
+        best = _best_wall(config)
         results[frontend] = {
             "wall_s": best,
             "events_per_s": events / best,
             "instructions_per_s": trace.n_instructions / best,
         }
+        fast_config = ArchitectureConfig(
+            frontend=frontend, cache_kb=16, engine="fast", **kwargs
+        )
+        if unsupported_reason(fast_config) is None:
+            fast_best = _best_wall(fast_config)
+            results[f"{frontend}-fast"] = {
+                "wall_s": fast_best,
+                "events_per_s": events / fast_best,
+                "instructions_per_s": trace.n_instructions / fast_best,
+                "speedup_vs_reference": best / fast_best,
+            }
     return _payload(
         "engine", results, program=program, instructions=instructions, events=events
     )

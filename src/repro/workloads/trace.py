@@ -48,15 +48,29 @@ class TraceEvent:
         return self.branch_pc + INSTRUCTION_BYTES
 
 
+#: dtypes of the packed (structured-array) trace representation; the
+#: on-disk ``.npz`` cache stores exactly these columns, so a loaded
+#: trace hands the fast engine its arrays without any repacking
+PACKED_DTYPES = {
+    "starts": np.int64,
+    "counts": np.int64,
+    "kinds": np.int8,
+    "takens": np.bool_,
+    "targets": np.int64,
+}
+
+
 class Trace:
     """A block-compressed trace.
 
     Columns are plain Python lists (fast scalar access in the
-    simulation loops); :meth:`to_arrays` exports NumPy views for
-    vectorised analysis.
+    reference simulation loop); :meth:`packed` exposes the same
+    columns as a memoised dict of NumPy arrays — the representation
+    the vectorised fast engine replays — and :meth:`to_arrays`
+    exports fresh copies for ad-hoc analysis.
     """
 
-    __slots__ = ("starts", "counts", "kinds", "takens", "targets", "name")
+    __slots__ = ("starts", "counts", "kinds", "takens", "targets", "name", "_packed")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -68,6 +82,8 @@ class Trace:
         #: recorded even when a conditional executes not-taken, so
         #: target-sensitive predictors (e.g. BTFNT) can be simulated.
         self.targets: List[int] = []
+        #: memoised packed (NumPy) view; invalidated by :meth:`append`
+        self._packed: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -91,6 +107,7 @@ class Trace:
         self.kinds.append(int(kind))
         self.takens.append(bool(taken))
         self.targets.append(target)
+        self._packed = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -133,34 +150,54 @@ class Trace:
         """Address of the break instruction of event *index*."""
         return self.starts[index] + (self.counts[index] - 1) * INSTRUCTION_BYTES
 
+    def packed(self) -> dict:
+        """Return the trace columns as a memoised dict of NumPy arrays.
+
+        This is the representation the vectorised fast engine replays
+        (dtypes per :data:`PACKED_DTYPES`).  The arrays are built once
+        and cached on the trace; :meth:`append` invalidates the cache.
+        Callers must treat the arrays as read-only.
+        """
+        if self._packed is None:
+            self._packed = {
+                name: np.asarray(getattr(self, name), dtype=dtype)
+                for name, dtype in PACKED_DTYPES.items()
+            }
+        return self._packed
+
     def to_arrays(self) -> dict:
-        """Export the trace columns as NumPy arrays."""
-        return {
-            "starts": np.asarray(self.starts, dtype=np.int64),
-            "counts": np.asarray(self.counts, dtype=np.int64),
-            "kinds": np.asarray(self.kinds, dtype=np.int8),
-            "takens": np.asarray(self.takens, dtype=np.bool_),
-            "targets": np.asarray(self.targets, dtype=np.int64),
-        }
+        """Export the trace columns as fresh NumPy array copies."""
+        return {name: array.copy() for name, array in self.packed().items()}
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Save the trace to an ``.npz`` file."""
-        np.savez_compressed(path, name=np.asarray(self.name), **self.to_arrays())
+        """Save the trace (its packed form) to an ``.npz`` file."""
+        np.savez_compressed(path, name=np.asarray(self.name), **self.packed())
 
     @classmethod
     def load(cls, path: str) -> "Trace":
-        """Load a trace previously written by :meth:`save`."""
+        """Load a trace previously written by :meth:`save`.
+
+        The packed arrays stored on disk seed both the list columns
+        (via ``ndarray.tolist()``, much faster than per-element
+        conversion) and the memoised :meth:`packed` view, so a
+        cache-loaded trace is immediately ready for the fast engine.
+        """
         data = np.load(path, allow_pickle=False)
         trace = cls(name=str(data["name"]))
-        trace.starts = [int(x) for x in data["starts"]]
-        trace.counts = [int(x) for x in data["counts"]]
-        trace.kinds = [int(x) for x in data["kinds"]]
-        trace.takens = [bool(x) for x in data["takens"]]
-        trace.targets = [int(x) for x in data["targets"]]
+        packed = {
+            name: np.asarray(data[name], dtype=dtype)
+            for name, dtype in PACKED_DTYPES.items()
+        }
+        trace.starts = packed["starts"].tolist()
+        trace.counts = packed["counts"].tolist()
+        trace.kinds = packed["kinds"].tolist()
+        trace.takens = packed["takens"].tolist()
+        trace.targets = packed["targets"].tolist()
+        trace._packed = packed
         return trace
 
     # ------------------------------------------------------------------

@@ -1,0 +1,235 @@
+"""Differential tests: the vectorised fast engine vs the reference loop.
+
+The fast engine's contract is *byte-identical reports*: for every
+configuration in its supported matrix, ``engine="fast"`` must produce
+exactly the :class:`~repro.metrics.report.SimulationReport` the
+reference per-branch loop produces — counters, per-kind breakdowns,
+front-end mismatch histograms, attribution snapshots and telemetry
+included.  Configurations outside the matrix must fall back to the
+reference engine with the reason stamped for the run manifest.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.fetch.engine import FetchEngine
+from repro.fetch.fast_engine import FastEngine, unsupported_reason
+from repro.harness.config import ArchitectureConfig
+from repro.harness.export import _jsonable
+from repro.harness.runner import RunRequest, run_request
+from repro.harness.spec import ExperimentPlan, ExperimentResult, with_engine
+from repro.telemetry.core import Registry, use
+from repro.workloads.corpus import generate_trace
+
+#: one representative configuration per supported front-end family
+SUPPORTED = [
+    ("nls-table", {"entries": 1024}),
+    ("btb", {"entries": 128}),
+    ("steely-sager", {"entries": 512}),
+    ("oracle", {}),
+    ("fall-through", {}),
+]
+
+INSTRUCTIONS = 40_000
+
+
+def run_both(config, program="li", instructions=INSTRUCTIONS, warmup=0.0):
+    """Run *config* through both engines on the same trace."""
+    trace = generate_trace(program, instructions=instructions)
+    reference = (
+        replace(config, engine="reference")
+        .build()
+        .run(trace, label=config.label(), warmup_fraction=warmup)
+    )
+    engine = replace(config, engine="fast").build()
+    assert isinstance(engine, FastEngine), "config unexpectedly unsupported"
+    fast = engine.run(trace, label=config.label(), warmup_fraction=warmup)
+    return reference, fast
+
+
+def as_json(report) -> str:
+    return json.dumps(_jsonable(report), sort_keys=True)
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("frontend,kwargs", SUPPORTED)
+    def test_reports_identical(self, frontend, kwargs):
+        config = ArchitectureConfig(frontend=frontend, **kwargs)
+        reference, fast = run_both(config, warmup=0.3)
+        assert reference == fast
+        assert reference.frontend_stats == fast.frontend_stats
+        assert as_json(reference) == as_json(fast)
+
+    @pytest.mark.parametrize("frontend,kwargs", SUPPORTED)
+    def test_reports_identical_with_flushes(self, frontend, kwargs):
+        config = ArchitectureConfig(
+            frontend=frontend, flush_interval=7_777, **kwargs
+        )
+        reference, fast = run_both(config)
+        assert reference == fast
+        assert as_json(reference) == as_json(fast)
+
+    def test_second_program(self):
+        config = ArchitectureConfig(frontend="nls-table")
+        reference, fast = run_both(config, program="espresso", warmup=0.3)
+        assert as_json(reference) == as_json(fast)
+
+    def test_small_cache_pressure(self):
+        config = ArchitectureConfig(frontend="nls-table", cache_kb=1)
+        reference, fast = run_both(config)
+        assert as_json(reference) == as_json(fast)
+
+    def test_btb_allocate_all(self):
+        config = ArchitectureConfig(
+            frontend="btb", entries=128, btb_allocate="all"
+        )
+        reference, fast = run_both(config)
+        assert as_json(reference) == as_json(fast)
+
+    def test_attribution_snapshots_identical(self):
+        # attribution is compare=False on the report, so check explicitly
+        config = ArchitectureConfig(
+            frontend="nls-table", attribution=True, attribution_sample=8
+        )
+        reference, fast = run_both(config, warmup=0.3)
+        assert reference == fast
+        assert reference.attribution == fast.attribution
+
+    def test_telemetry_counters_identical(self):
+        trace = generate_trace("li", instructions=INSTRUCTIONS)
+        totals = {}
+        for engine_name in ("reference", "fast"):
+            config = ArchitectureConfig(frontend="nls-table", engine=engine_name)
+            registry = Registry(enabled=True)
+            with use(registry):
+                config.build().run(trace, label=config.label())
+            totals[engine_name] = sorted(
+                (event["name"], event["value"])
+                for event in registry.events()
+                if event.get("event") == "counter"
+                and event["name"].startswith("engine.")
+            )
+        assert totals["reference"] == totals["fast"]
+
+
+class TestSupportedMatrix:
+    def test_supported_configs_have_no_reason(self):
+        for frontend, kwargs in SUPPORTED:
+            config = ArchitectureConfig(frontend=frontend, **kwargs)
+            assert unsupported_reason(config) is None, frontend
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"frontend": "nls-cache"},
+            {"frontend": "johnson"},
+            {"frontend": "coupled-btb"},
+            {"frontend": "btb", "btb_assoc": 4},
+            {"cache_assoc": 2},
+            {"direction": "bimodal"},
+            {"model_wrong_path": True},
+        ],
+    )
+    def test_unsupported_configs_name_a_reason(self, override):
+        config = ArchitectureConfig(**override)
+        assert unsupported_reason(config)
+
+    def test_fallback_builds_reference_engine(self):
+        config = ArchitectureConfig(frontend="nls-cache", engine="fast")
+        engine = config.build()
+        assert isinstance(engine, FetchEngine)
+        assert engine.engine_name == "reference"
+        assert engine.engine_fallback  # the stamped reason
+
+    def test_fast_engine_rejects_unsupported_config(self):
+        with pytest.raises(ValueError):
+            FastEngine(ArchitectureConfig(frontend="johnson"))
+
+
+class TestHarnessWiring:
+    def test_config_validates_engine(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(engine="bogus")
+
+    def test_describe_includes_non_default_engine(self):
+        assert ArchitectureConfig(engine="fast").describe()["engine"] == "fast"
+        assert "engine" not in ArchitectureConfig().describe()
+
+    def test_manifest_stamps_engine(self):
+        request = RunRequest(
+            config=ArchitectureConfig(frontend="nls-table", engine="fast"),
+            program="li",
+            instructions=20_000,
+        )
+        report = run_request(request)
+        assert report.manifest.extra["engine"] == "fast"
+        assert "engine_fallback" not in report.manifest.extra
+
+    def test_manifest_stamps_fallback(self):
+        request = RunRequest(
+            config=ArchitectureConfig(frontend="nls-cache", engine="fast"),
+            program="li",
+            instructions=20_000,
+        )
+        report = run_request(request)
+        assert report.manifest.extra["engine"] == "reference"
+        assert report.manifest.extra["engine_fallback"]
+
+    def test_manifest_stamps_reference_default(self):
+        request = RunRequest(
+            config=ArchitectureConfig(frontend="nls-table"),
+            program="li",
+            instructions=20_000,
+        )
+        report = run_request(request)
+        assert report.manifest.extra["engine"] == "reference"
+
+    def test_with_engine_rewrites_cells_and_aliases_reports(self):
+        cells = tuple(
+            RunRequest(
+                config=ArchitectureConfig(frontend="nls-table"),
+                program=program,
+                instructions=20_000,
+            )
+            for program in ("li", "espresso")
+        )
+
+        def finish(reports):
+            # renderers index by the ORIGINAL reference-engine cells
+            return ExperimentResult(
+                name="t",
+                title="t",
+                text="",
+                data={"breaks": [reports[cell].n_breaks for cell in cells]},
+            )
+
+        (plan,) = with_engine(
+            [ExperimentPlan(name="t", cells=cells, finish=finish)], "fast"
+        )
+        assert all(cell.config.engine == "fast" for cell in plan.cells)
+        result = plan.run()
+        assert all(n > 0 for n in result.data["breaks"])
+
+    def test_with_engine_reference_is_identity(self):
+        plan = ExperimentPlan(name="t", cells=(), finish=lambda reports: None)
+        assert with_engine([plan], "reference") == [plan]
+
+
+class TestPackedTrace:
+    def test_packed_is_memoised_and_invalidated(self):
+        trace = generate_trace("li", instructions=10_000)
+        packed = trace.packed()
+        assert trace.packed() is packed
+        assert packed["starts"].tolist() == trace.starts
+
+    def test_save_load_roundtrip_preserves_packed(self, tmp_path):
+        trace = generate_trace("li", instructions=10_000)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = type(trace).load(path)
+        assert loaded.starts == trace.starts
+        assert loaded.kinds == trace.kinds
+        assert loaded._packed is not None
+        assert loaded.packed()["targets"].tolist() == trace.targets
