@@ -6,8 +6,20 @@ baselines) behind one interface; :mod:`repro.fetch.engine` drives a
 block-compressed trace through the instruction cache, the shared PHT
 and return stack, and a chosen front-end, producing a
 :class:`~repro.metrics.report.SimulationReport`.
+
+:mod:`repro.fetch.capability` classifies configurations for sweep
+dispatch — :func:`engine_class` says how a cell executes
+(``fast-batched`` / ``fast-single`` / ``reference``) and
+:func:`fallback_reason` names the stable machine-readable reason when
+the fast engine cannot run a configuration at all.
 """
 
+from repro.fetch.capability import (
+    EngineClass,
+    FallbackReason,
+    engine_class,
+    fallback_reason,
+)
 from repro.fetch.frontends import (
     FetchFrontEnd,
     BTBFrontEnd,
@@ -23,6 +35,10 @@ from repro.fetch.frontends import (
 from repro.fetch.engine import FetchEngine
 
 __all__ = [
+    "EngineClass",
+    "FallbackReason",
+    "engine_class",
+    "fallback_reason",
     "FetchFrontEnd",
     "BTBFrontEnd",
     "NLSTableFrontEnd",

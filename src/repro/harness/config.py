@@ -178,13 +178,14 @@ class ArchitectureConfig:
         manifest).
         """
         if self.engine == "fast":
-            from repro.fetch.fast_engine import FastEngine, unsupported_reason
+            from repro.fetch.capability import fallback_reason
+            from repro.fetch.fast_engine import FastEngine
 
-            reason = unsupported_reason(self)
+            reason = fallback_reason(self)
             if reason is None:
                 return FastEngine(self)
             engine = self._build_reference()
-            engine.engine_fallback = reason
+            engine.engine_fallback = reason.value
             return engine
         return self._build_reference()
 

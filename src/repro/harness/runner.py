@@ -17,6 +17,19 @@ The harness is layered spec → plan → backend (see DESIGN.md,
     batched by trace key so each worker generates a given trace once
     and memoises it via :mod:`repro.workloads.corpus`.
 
+Both backends group cells by **(trace key, batch-compatibility
+signature)** — the signature is the cell's
+:class:`~repro.fetch.capability.EngineClass` (or ``reference``) — and
+execute each fast group against one shared
+:class:`~repro.fetch.fast_engine.TraceReplayContext`: the packed
+trace's sub-replays (flush epochs, icache replay, residency probes,
+gshare scan, table sorts) are computed once per group instead of once
+per cell, and same-family table variants amortise their sorts through
+``context.prepare``.  Each cell still builds its own engine and fans
+back out to a per-cell byte-identical
+:class:`~repro.metrics.report.SimulationReport`, so checkpointing,
+attribution, telemetry and export are untouched by the batching.
+
 Passing an :class:`ExecutionPolicy` turns on the resilience layer
 (DESIGN.md §12), with identical semantics on both backends:
 
@@ -83,6 +96,7 @@ from typing import (
     Union,
 )
 
+from repro.fetch.capability import engine_class, fallback_reason
 from repro.harness.checkpoint import CellFailure, CheckpointJournal, cell_key
 from repro.harness.config import ArchitectureConfig
 from repro.metrics.report import RunMetadata, SimulationReport
@@ -282,6 +296,7 @@ def run_request(
     request: RunRequest,
     backend: str = "serial",
     manifest_extra: Optional[Dict[str, Any]] = None,
+    context: Optional[Any] = None,
 ) -> SimulationReport:
     """Execute one cell: generate (or reuse) the trace, build a fresh
     engine from the picklable config, run, and stamp provenance.
@@ -291,8 +306,12 @@ def run_request(
     report carries both a :class:`RunMetadata` and a
     :class:`~repro.telemetry.manifest.RunManifest` (*manifest_extra*
     lands in the manifest's ``extra`` field, alongside the stamped
-    ``engine`` that actually ran the cell and — when a ``fast`` config
-    fell back to the reference loop — the ``engine_fallback`` reason)."""
+    ``engine`` that actually ran the cell, its ``engine_class`` when
+    the fast engine ran it, and — when a ``fast`` config fell back to
+    the reference loop — the machine-readable ``engine_fallback``
+    reason).  *context* optionally shares a batch
+    :class:`~repro.fetch.fast_engine.TraceReplayContext` with the
+    engine; it never changes results, only reuses sub-replays."""
     registry = get_registry()
     config = request.config
     label = config.label()
@@ -309,6 +328,8 @@ def run_request(
         started = time.perf_counter()
         cpu_started = time.process_time()
         engine = config.build()
+        if context is not None and hasattr(engine, "attach_context"):
+            engine.attach_context(context)
         report = engine.run(
             trace, label=label, warmup_fraction=request.warmup
         )
@@ -329,6 +350,9 @@ def run_request(
     )
     extra = dict(manifest_extra or {})
     extra["engine"] = getattr(engine, "engine_name", "reference")
+    cell_class = getattr(engine, "engine_class", None)
+    if cell_class is not None:
+        extra["engine_class"] = cell_class.value
     fallback = getattr(engine, "engine_fallback", None)
     if fallback is not None:
         extra["engine_fallback"] = fallback
@@ -509,63 +533,134 @@ _ExecuteResult = Tuple[
 ]
 
 
+def _group_signature(request: RunRequest) -> str:
+    """Batch-compatibility signature: how this cell will execute.
+
+    Cells sharing a trace key *and* a signature run as one group over
+    a shared :class:`~repro.fetch.fast_engine.TraceReplayContext`;
+    ``reference`` cells (explicitly requested or fallback) group only
+    for trace reuse."""
+    config = request.config
+    if config.engine != "fast":
+        return "reference"
+    return engine_class(config).value
+
+
+def _shared_batch_context(batch: Sequence[RunRequest]):
+    """One shared ``TraceReplayContext`` for the batch's fast cells.
+
+    Returns ``None`` when no cell can use it.  The context wraps the
+    memoised trace the cells will replay and pre-computes the stacked
+    sort orders for same-family table variants
+    (``TraceReplayContext.prepare``).  Purely a reuse vehicle — every
+    cell's report stays byte-identical to a solo run."""
+    fast = [
+        request
+        for request in batch
+        if request.config.engine == "fast"
+        and fallback_reason(request.config) is None
+    ]
+    if not fast:
+        return None
+    from repro.fetch.fast_engine import TraceReplayContext
+
+    try:
+        first = fast[0]
+        trace = generate_trace(
+            first.program,
+            instructions=first.instructions,
+            seed=first.seed,
+            layout=first.layout,
+        )
+        context = TraceReplayContext(trace)
+        context.prepare([request.config for request in fast])
+    except Exception:
+        # the context is purely a reuse vehicle: if the trace cannot
+        # be generated (or a config is malformed) the cells run solo
+        # and fail — or succeed — through run_request's own path
+        return None
+    return context
+
+
+def _context_groups(
+    requests: Sequence[RunRequest],
+) -> List[List[RunRequest]]:
+    """Group cells by (trace key, batch-compatibility signature) in
+    first-seen order — the serial backend's unit of context sharing."""
+    groups: Dict[tuple, List[RunRequest]] = {}
+    for request in requests:
+        key = (request.resolved_trace_key(), _group_signature(request))
+        groups.setdefault(key, []).append(request)
+    return list(groups.values())
+
+
 def _execute_serial(
     requests: Sequence[RunRequest],
     jobs: Optional[int] = None,
     policy: Optional[ExecutionPolicy] = None,
     manifest_extra: Optional[Dict[str, Any]] = None,
 ) -> _ExecuteResult:
-    """In-process backend: one cell after another, insertion order.
+    """In-process backend: cells grouped by (trace, signature), each
+    group sharing one batch context; insertion order within groups.
 
     Without a policy this is the historical strict loop — the first
     failure raises (unwrapped) and aborts.  With one, cells retry with
     backoff under the per-cell deadline and quarantine instead of
     aborting, journalling completions as they land."""
     if policy is None:
-        return (
-            {
-                request: run_request(
-                    request, backend="serial", manifest_extra=manifest_extra
+        results: Dict[RunRequest, SimulationReport] = {}
+        for group in _context_groups(requests):
+            context = _shared_batch_context(group)
+            for request in group:
+                results[request] = run_request(
+                    request,
+                    backend="serial",
+                    manifest_extra=manifest_extra,
+                    context=context,
                 )
-                for request in requests
-            },
-            {},
-        )
+        return results, {}
     supervisor = _PlanSupervisor(requests, policy)
     try:
-        for request in supervisor.pending:
-            while True:
-                try:
-                    with _deadline(policy.cell_timeout):
-                        report = run_request(
-                            request,
-                            backend="serial",
-                            manifest_extra=manifest_extra,
-                        )
-                except Exception as exc:
-                    delay = supervisor.fail(request, _error_record(exc))
-                    if delay is None:
+        for group in _context_groups(supervisor.pending):
+            context = _shared_batch_context(group)
+            for request in group:
+                while True:
+                    try:
+                        with _deadline(policy.cell_timeout):
+                            report = run_request(
+                                request,
+                                backend="serial",
+                                manifest_extra=manifest_extra,
+                                context=context,
+                            )
+                    except Exception as exc:
+                        delay = supervisor.fail(request, _error_record(exc))
+                        if delay is None:
+                            break
+                        if delay > 0:
+                            time.sleep(delay)
+                    else:
+                        supervisor.succeed(request, report)
                         break
-                    if delay > 0:
-                        time.sleep(delay)
-                else:
-                    supervisor.succeed(request, report)
-                    break
     finally:
         supervisor.finish()
     return supervisor.results, supervisor.failures
 
 
 def _batches_by_trace(requests: Sequence[RunRequest]) -> List[List[RunRequest]]:
-    """Group cells sharing a trace so a worker generates it once.
+    """Group cells sharing a trace *and* a batch-compatibility
+    signature, so a worker generates each trace once and replays a
+    whole compatible group through one shared batch context.
 
-    Batches are sorted by their fully resolved trace key, so the pool
-    sees an identical work order regardless of request order or
-    ``PYTHONHASHSEED`` — batch assignment is reproducible run to run.
+    Batches are sorted by (fully resolved trace key, signature), so
+    the pool sees an identical work order regardless of request order
+    or ``PYTHONHASHSEED`` — batch assignment is reproducible run to
+    run.
     """
     groups: Dict[tuple, List[RunRequest]] = {}
     for request in requests:
-        groups.setdefault(request.resolved_trace_key(), []).append(request)
+        key = (request.resolved_trace_key(), _group_signature(request))
+        groups.setdefault(key, []).append(request)
     return [groups[key] for key in sorted(groups)]
 
 
@@ -596,10 +691,13 @@ def _run_batch_outcomes(
     (``None`` when telemetry is off).
     """
     outcomes: List[_Outcome] = []
+    context = _shared_batch_context(batch)
     for request in batch:
         try:
             with _deadline(cell_timeout):
-                report = run_request(request, backend="process")
+                report = run_request(
+                    request, backend="process", context=context
+                )
         except Exception as exc:
             outcomes.append((request, "error", _error_record(exc)))
         else:

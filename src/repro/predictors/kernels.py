@@ -18,7 +18,11 @@ searchsorteds and segmented scans over the packed trace columns:
 * :func:`counter_scan` — segmented prefix composition of saturating
   clamp-add updates (exact 2-bit PHT counter replay);
 * :func:`gshare_histories` — the global history register before each
-  conditional, under per-epoch (flush) resets.
+  conditional, under per-epoch (flush) resets;
+* :func:`segmented_counts` — per-element inclusive count of flagged
+  same-key predecessors (cache-frame fill generations);
+* :func:`batched_orders` — one stable sort shared by a whole stack of
+  table variants (the batched-sweep kernels' leading batch axis).
 
 All kernels are pure NumPy and deterministic.
 """
@@ -265,6 +269,57 @@ def gshare_histories(
         valid = source >= segment_first
         history[valid] += takens[source[valid]] << bit
     return history
+
+
+def segmented_counts(keys: np.ndarray, flags: np.ndarray) -> np.ndarray:
+    """Per element, the inclusive count of *flagged* elements with the
+    same key at or before it.
+
+    Elements are implicitly in time order.  The icache replay uses
+    this with ``flags = miss`` to number each access's cache-frame
+    *fill generation* — the count of fills the frame has seen — so
+    frontend state bound to an evicted line is retired simply by
+    keying it with the generation it was written under.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    flags = np.asarray(flags, dtype=bool)
+    n = len(keys)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    flagged = flags[order].astype(np.int64)
+    running = np.cumsum(flagged)
+    first = segment_starts(keys[order])
+    within = running - running[first] + flagged[first]
+    counts = np.empty(n, dtype=np.int64)
+    counts[order] = within
+    return counts
+
+
+def batched_orders(keys_2d: np.ndarray) -> list:
+    """Stable sort orders for a stack of key arrays, from ONE sort.
+
+    ``keys_2d`` has shape ``(B, n)``: *B* table-geometry variants
+    (e.g. NLS tables of different sizes) each mapping the same *n*
+    trace writes to their own non-negative slot keys.  Shifting each
+    variant's keys into a disjoint range and stable-sorting the
+    concatenation yields every variant's sorted run as a contiguous
+    segment of the one big order — the per-variant orders returned
+    here plug straight into :class:`LastWriteIndex`'s ``order=``
+    parameter, amortising the dominant sort cost across the batch.
+    """
+    keys_2d = np.asarray(keys_2d, dtype=np.int64)
+    n_variants, n = keys_2d.shape
+    if n == 0 or n_variants == 0:
+        return [np.zeros(0, dtype=np.int64) for _ in range(n_variants)]
+    spaces = keys_2d.max(axis=1) + 1
+    bases = np.zeros(n_variants, dtype=np.int64)
+    np.cumsum(spaces[:-1], out=bases[1:])
+    shifted = (keys_2d + bases[:, None]).ravel()
+    order = np.argsort(shifted, kind="stable")
+    # variant b's n elements occupy sorted positions [b*n, (b+1)*n)
+    # because its key range is disjoint from and below variant b+1's
+    return [order[b * n : (b + 1) * n] - b * n for b in range(n_variants)]
 
 
 def segment_starts(group_ids: np.ndarray) -> np.ndarray:

@@ -7,9 +7,11 @@ workloads the repo's perf story hinges on —
   simulated per second) for one representative configuration of each
   front-end family, the same shape as
   ``benchmarks/bench_engine_throughput.py``;
-* **sweep** — a pooled, deduplicated multi-figure run plan executed on
+* **sweep** — a pooled, deduplicated multi-figure run plan executed
+  with the reference engine and then with the batched fast engine on
   the serial and process backends, the same shape as
-  ``benchmarks/bench_sweep_parallel.py``;
+  ``benchmarks/bench_sweep_parallel.py``; the manifest carries the
+  per-engine-class dispatch breakdown;
 
 and emits each as a schema-versioned payload (``repro-bench/v1``)
 written atomically to ``BENCH_engine.json`` / ``BENCH_sweep.json``.
@@ -137,13 +139,26 @@ def bench_sweep(
     jobs: Optional[int] = None,
     figures: Sequence[str] = ("fig4", "fig5", "fig8"),
 ) -> Dict[str, Any]:
-    """Time a pooled multi-figure run plan on both executor backends.
+    """Time a pooled multi-figure run plan: reference vs batched fast.
 
-    Reports per-backend wall time and cell throughput plus the
-    cross-figure dedup saving; the two backends' reports are checked
-    for equality so a throughput win can never hide a correctness
-    drift.
+    The same deduplicated cell pool runs three ways — reference engine
+    on the serial backend, then ``engine="fast"`` on the serial and
+    process backends (where the runner groups cells by trace and
+    batch-compatibility signature and replays each group through one
+    shared :class:`~repro.fetch.fast_engine.TraceReplayContext`).
+    ``speedup_vs_reference`` on the fast entries is the headline
+    batched-sweep number; all three result sets are checked for
+    equality so a throughput win can never hide a correctness drift.
+
+    The manifest records how every cell dispatched
+    (``engine_classes``: ``fast_batched`` / ``fast_single`` /
+    ``reference`` / ``fallback`` counts) plus the labelled
+    ``fallback_cells``; :func:`gate` fails a sweep payload whose
+    paper-figure cells fell back to the reference engine.
     """
+    from dataclasses import replace
+
+    from repro.fetch.capability import engine_class, fallback_reason
     from repro.harness.experiments import SPECS
     from repro.harness.runner import RunPlan
     from repro.workloads.corpus import clear_cache
@@ -157,26 +172,64 @@ def bench_sweep(
         ).cells
         plan.add_all(cells)
 
+    fast_cells = [
+        replace(cell, config=replace(cell.config, engine="fast"))
+        for cell in plan.requests
+    ]
+    classes = {"fast_batched": 0, "fast_single": 0, "reference": 0, "fallback": 0}
+    fallback_cells: List[Dict[str, str]] = []
+    for cell in fast_cells:
+        reason = fallback_reason(cell.config)
+        if reason is not None:
+            classes["reference"] += 1
+            classes["fallback"] += 1
+            fallback_cells.append(
+                {"label": cell.config.label(), "reason": reason.value}
+            )
+        else:
+            key = engine_class(cell.config).value.replace("-", "_")
+            classes[key] += 1
+
     clear_cache()
     started = time.perf_counter()
-    serial = RunPlan(plan.requests).execute(backend="serial")
-    serial_wall = time.perf_counter() - started
+    reference = RunPlan(plan.requests).execute(backend="serial")
+    reference_wall = time.perf_counter() - started
 
     started = time.perf_counter()
-    parallel = RunPlan(plan.requests).execute(backend="process", jobs=jobs)
-    process_wall = time.perf_counter() - started
+    fast_serial = RunPlan(fast_cells).execute(backend="serial")
+    fast_serial_wall = time.perf_counter() - started
 
-    if serial != parallel:
+    started = time.perf_counter()
+    fast_process = RunPlan(fast_cells).execute(backend="process", jobs=jobs)
+    fast_process_wall = time.perf_counter() - started
+
+    if fast_serial != fast_process:
         raise RuntimeError("serial and process backends disagreed on reports")
+    for cell, fast_cell in zip(plan.requests, fast_cells):
+        if reference[cell] != fast_serial[fast_cell]:
+            raise RuntimeError(
+                "fast and reference engines disagreed on "
+                f"{fast_cell.config.label()} ({fast_cell.program})"
+            )
 
     results = {
-        "serial": {
-            "wall_s": serial_wall,
-            "cells_per_s": plan.unique / serial_wall,
+        "reference": {
+            "wall_s": reference_wall,
+            "cells_per_s": plan.unique / reference_wall,
         },
-        "process": {
-            "wall_s": process_wall,
-            "cells_per_s": plan.unique / process_wall,
+        "fast_serial": {
+            "wall_s": fast_serial_wall,
+            "cells_per_s": plan.unique / fast_serial_wall,
+            "speedup_vs_reference": (
+                reference_wall / fast_serial_wall if fast_serial_wall else 0.0
+            ),
+        },
+        "fast_process": {
+            "wall_s": fast_process_wall,
+            "cells_per_s": plan.unique / fast_process_wall,
+            "speedup_vs_reference": (
+                reference_wall / fast_process_wall if fast_process_wall else 0.0
+            ),
         },
     }
     return _payload(
@@ -187,7 +240,9 @@ def bench_sweep(
         figures=list(figures),
         cells_requested=plan.requested,
         cells_unique=plan.unique,
-        speedup=serial_wall / process_wall if process_wall else 0.0,
+        speedup=reference_wall / fast_serial_wall if fast_serial_wall else 0.0,
+        engine_classes=classes,
+        fallback_cells=fallback_cells,
     )
 
 
@@ -244,12 +299,26 @@ def gate(
 
     Every ``*_per_s`` metric of every baseline result entry must
     satisfy ``current >= baseline × (1 - tolerance)``; a missing entry
-    or metric is itself a violation.  An empty return means the gate
-    passes.
+    or metric is itself a violation.  A sweep payload whose manifest
+    records fallback cells (``engine_classes.fallback > 0``) also
+    fails: every paper-figure cell must run inside the fast engine's
+    closed matrix.  An empty return means the gate passes.
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError("tolerance must be in [0, 1)")
     violations: List[str] = []
+    extra = current.get("manifest", {}).get("extra") or {}
+    classes = extra.get("engine_classes")
+    if classes and classes.get("fallback", 0) > 0:
+        labels = ", ".join(
+            f"{cell['label']} ({cell['reason']})"
+            for cell in extra.get("fallback_cells", [])
+        )
+        violations.append(
+            f"engine_classes.fallback: {classes['fallback']} sweep cell(s) "
+            f"fell back to the reference engine"
+            + (f": {labels}" if labels else "")
+        )
     current_results = current.get("results", {})
     for label in sorted(baseline.get("results", {})):
         base_metrics = baseline["results"][label]

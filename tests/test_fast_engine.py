@@ -10,24 +10,46 @@ reference engine with the reason stamped for the run manifest.
 """
 
 import json
+import random
 from dataclasses import replace
 
 import pytest
 
+from repro.fetch.capability import (
+    EngineClass,
+    FallbackReason,
+    engine_class,
+    fallback_reason,
+)
 from repro.fetch.engine import FetchEngine
-from repro.fetch.fast_engine import FastEngine, unsupported_reason
+from repro.fetch.fast_engine import (
+    FastEngine,
+    TraceReplayContext,
+    unsupported_reason,
+)
 from repro.harness.config import ArchitectureConfig
 from repro.harness.export import _jsonable
-from repro.harness.runner import RunRequest, run_request
+from repro.harness.runner import RunPlan, RunRequest, run_request
 from repro.harness.spec import ExperimentPlan, ExperimentResult, with_engine
 from repro.telemetry.core import Registry, use
 from repro.workloads.corpus import generate_trace
 
-#: one representative configuration per supported front-end family
+#: one representative configuration per supported front-end family —
+#: the matrix is closed over every paper configuration, including the
+#: associative cache + NLS-cache/Johnson/coupled-BTB combinations
 SUPPORTED = [
     ("nls-table", {"entries": 1024}),
+    ("nls-table", {"entries": 512, "cache_assoc": 4}),
     ("btb", {"entries": 128}),
+    ("btb", {"entries": 128, "btb_assoc": 4}),
     ("steely-sager", {"entries": 512}),
+    ("nls-cache", {}),
+    ("nls-cache", {"nls_cache_policy": "lru"}),
+    ("nls-cache", {"cache_assoc": 2, "cache_kb": 4}),
+    ("johnson", {}),
+    ("johnson", {"cache_assoc": 2, "cache_kb": 4}),
+    ("coupled-btb", {"entries": 256}),
+    ("coupled-btb", {"entries": 128, "btb_assoc": 4}),
     ("oracle", {}),
     ("fall-through", {}),
 ]
@@ -123,11 +145,6 @@ class TestSupportedMatrix:
     @pytest.mark.parametrize(
         "override",
         [
-            {"frontend": "nls-cache"},
-            {"frontend": "johnson"},
-            {"frontend": "coupled-btb"},
-            {"frontend": "btb", "btb_assoc": 4},
-            {"cache_assoc": 2},
             {"direction": "bimodal"},
             {"model_wrong_path": True},
         ],
@@ -137,15 +154,66 @@ class TestSupportedMatrix:
         assert unsupported_reason(config)
 
     def test_fallback_builds_reference_engine(self):
-        config = ArchitectureConfig(frontend="nls-cache", engine="fast")
+        config = ArchitectureConfig(direction="bimodal", engine="fast")
         engine = config.build()
         assert isinstance(engine, FetchEngine)
         assert engine.engine_name == "reference"
-        assert engine.engine_fallback  # the stamped reason
+        assert engine.engine_fallback == "unsupported-direction-predictor"
 
     def test_fast_engine_rejects_unsupported_config(self):
         with pytest.raises(ValueError):
-            FastEngine(ArchitectureConfig(frontend="johnson"))
+            FastEngine(ArchitectureConfig(model_wrong_path=True))
+
+
+class TestCapability:
+    def test_fallback_reason_values_are_pinned(self):
+        # the manifest's engine_fallback field is machine-readable:
+        # these strings are a stable contract with downstream tooling
+        assert (
+            FallbackReason.DIRECTION_PREDICTOR.value
+            == "unsupported-direction-predictor"
+        )
+        assert FallbackReason.WRONG_PATH.value == "wrong-path-modelling"
+        assert {r.value for r in FallbackReason} == {
+            "unsupported-direction-predictor",
+            "wrong-path-modelling",
+        }
+
+    def test_engine_class_values_are_pinned(self):
+        assert EngineClass.FAST_BATCHED.value == "fast-batched"
+        assert EngineClass.FAST_SINGLE.value == "fast-single"
+        assert EngineClass.REFERENCE.value == "reference"
+
+    @pytest.mark.parametrize(
+        "override,expected",
+        [
+            ({"frontend": "nls-table"}, EngineClass.FAST_BATCHED),
+            ({"frontend": "btb"}, EngineClass.FAST_BATCHED),
+            ({"frontend": "btb", "btb_assoc": 4}, EngineClass.FAST_SINGLE),
+            ({"frontend": "coupled-btb"}, EngineClass.FAST_SINGLE),
+            (
+                {"frontend": "nls-cache", "nls_cache_policy": "lru"},
+                EngineClass.FAST_SINGLE,
+            ),
+            ({"frontend": "nls-cache"}, EngineClass.FAST_BATCHED),
+            ({"frontend": "johnson"}, EngineClass.FAST_BATCHED),
+            ({"direction": "bimodal"}, EngineClass.REFERENCE),
+            ({"model_wrong_path": True}, EngineClass.REFERENCE),
+        ],
+    )
+    def test_engine_class_classification(self, override, expected):
+        assert engine_class(ArchitectureConfig(**override)) is expected
+
+    def test_fallback_reason_none_for_supported(self):
+        for frontend, kwargs in SUPPORTED:
+            config = ArchitectureConfig(frontend=frontend, **kwargs)
+            assert fallback_reason(config) is None
+
+    def test_fast_engine_exposes_engine_class(self):
+        engine = FastEngine(ArchitectureConfig(frontend="nls-table"))
+        assert engine.engine_class is EngineClass.FAST_BATCHED
+        engine = FastEngine(ArchitectureConfig(frontend="coupled-btb"))
+        assert engine.engine_class is EngineClass.FAST_SINGLE
 
 
 class TestHarnessWiring:
@@ -165,17 +233,21 @@ class TestHarnessWiring:
         )
         report = run_request(request)
         assert report.manifest.extra["engine"] == "fast"
+        assert report.manifest.extra["engine_class"] == "fast-batched"
         assert "engine_fallback" not in report.manifest.extra
 
     def test_manifest_stamps_fallback(self):
         request = RunRequest(
-            config=ArchitectureConfig(frontend="nls-cache", engine="fast"),
+            config=ArchitectureConfig(direction="bimodal", engine="fast"),
             program="li",
             instructions=20_000,
         )
         report = run_request(request)
         assert report.manifest.extra["engine"] == "reference"
-        assert report.manifest.extra["engine_fallback"]
+        assert (
+            report.manifest.extra["engine_fallback"]
+            == "unsupported-direction-predictor"
+        )
 
     def test_manifest_stamps_reference_default(self):
         request = RunRequest(
@@ -215,6 +287,174 @@ class TestHarnessWiring:
     def test_with_engine_reference_is_identity(self):
         plan = ExperimentPlan(name="t", cells=(), finish=lambda reports: None)
         assert with_engine([plan], "reference") == [plan]
+
+
+def _sample_config(rng: random.Random) -> ArchitectureConfig:
+    """Draw one random configuration from the fast engine's closed matrix."""
+    frontend = rng.choice(
+        [
+            "nls-table",
+            "nls-cache",
+            "btb",
+            "coupled-btb",
+            "steely-sager",
+            "johnson",
+            "oracle",
+            "fall-through",
+        ]
+    )
+    line_bytes = rng.choice([16, 32, 64])
+    kwargs = dict(
+        frontend=frontend,
+        cache_kb=rng.choice([1, 2, 4, 16]),
+        # Steely-Sager line successors require a direct-mapped cache
+        cache_assoc=1 if frontend == "steely-sager" else rng.choice([1, 2, 4]),
+        line_bytes=line_bytes,
+        cache_replacement=rng.choice(["lru", "fifo", "random"]),
+        pht_entries=rng.choice([1024, 4096]),
+        ras_entries=rng.choice([8, 32]),
+        flush_interval=rng.choice([None, 7_777]),
+        attribution=rng.random() < 0.5,
+    )
+    if frontend in ("nls-table", "steely-sager", "btb", "coupled-btb"):
+        kwargs["entries"] = rng.choice([64, 256, 1024])
+    if frontend in ("btb", "coupled-btb"):
+        kwargs["btb_assoc"] = rng.choice([1, 2, 4])
+    if frontend == "btb":
+        kwargs["btb_allocate"] = rng.choice(["taken-only", "all"])
+    if frontend in ("nls-cache", "johnson"):
+        # per-line predictor counts must divide the instructions per line
+        per_line = line_bytes // 4
+        kwargs["predictors_per_line"] = rng.choice(
+            [pl for pl in (1, 2, 4, 8) if pl <= per_line]
+        )
+    if frontend == "nls-cache":
+        kwargs["nls_cache_policy"] = rng.choice(["partition", "lru"])
+    return ArchitectureConfig(**kwargs)
+
+
+class TestDifferentialFuzz:
+    """Seeded fuzz across the closed matrix (satellite of the batched
+    sweep work): random configurations must export byte-identical JSON
+    from both engines, including attribution profiles and telemetry
+    counter totals."""
+
+    CASES = 12
+
+    def test_random_configs_are_byte_identical(self):
+        rng = random.Random(20260808)
+        traces = {
+            program: generate_trace(program, instructions=20_000)
+            for program in ("li", "doduc")
+        }
+        for case in range(self.CASES):
+            config = _sample_config(rng)
+            program = rng.choice(sorted(traces))
+            trace = traces[program]
+            warmup = rng.choice([0.0, 0.3])
+            exports = {}
+            telemetry = {}
+            for engine_name in ("reference", "fast"):
+                cell = replace(config, engine=engine_name)
+                registry = Registry(enabled=True)
+                with use(registry):
+                    report = cell.build().run(
+                        trace, label=config.label(), warmup_fraction=warmup
+                    )
+                exports[engine_name] = as_json(report)
+                telemetry[engine_name] = sorted(
+                    (event["name"], event["value"])
+                    for event in registry.events()
+                    if event.get("event") == "counter"
+                    and event["name"].startswith("engine.")
+                )
+                if config.attribution:
+                    exports[engine_name] += json.dumps(
+                        _jsonable(report.attribution), sort_keys=True
+                    )
+            detail = f"case {case}: {config.describe()} on {program}"
+            assert exports["reference"] == exports["fast"], detail
+            assert telemetry["reference"] == telemetry["fast"], detail
+
+
+class TestBatchedContext:
+    """The shared-context batched path must be invisible in the output:
+    attaching a prepared :class:`TraceReplayContext` changes throughput,
+    never reports."""
+
+    BATCH = [
+        ArchitectureConfig(frontend="nls-table", entries=256),
+        ArchitectureConfig(frontend="nls-table", entries=1024),
+        ArchitectureConfig(frontend="steely-sager", entries=512),
+        ArchitectureConfig(frontend="btb", entries=128),
+        ArchitectureConfig(frontend="btb", entries=512, btb_allocate="all"),
+        ArchitectureConfig(frontend="nls-cache", predictors_per_line=4),
+        ArchitectureConfig(frontend="johnson", predictors_per_line=2),
+        ArchitectureConfig(frontend="nls-table", pht_entries=1024),
+        ArchitectureConfig(frontend="oracle"),
+    ]
+
+    def test_shared_context_matches_solo_runs(self):
+        trace = generate_trace("li", instructions=20_000)
+        solo = {}
+        for index, config in enumerate(self.BATCH):
+            engine = replace(config, engine="fast").build()
+            solo[index] = as_json(
+                engine.run(trace, label=config.label(), warmup_fraction=0.2)
+            )
+        context = TraceReplayContext(trace)
+        context.prepare(self.BATCH)
+        for index, config in enumerate(self.BATCH):
+            engine = replace(config, engine="fast").build()
+            engine.attach_context(context)
+            batched = as_json(
+                engine.run(trace, label=config.label(), warmup_fraction=0.2)
+            )
+            assert batched == solo[index], config.label()
+        # every stacked sort prepared for the batch was consumed
+        assert not context._orders
+
+    def test_mismatched_context_is_ignored(self):
+        config = ArchitectureConfig(frontend="nls-table")
+        trace = generate_trace("li", instructions=20_000)
+        other = generate_trace("doduc", instructions=20_000)
+        engine = replace(config, engine="fast").build()
+        engine.attach_context(TraceReplayContext(other))
+        report = engine.run(trace, label=config.label())
+        baseline = replace(config, engine="fast").build().run(
+            trace, label=config.label()
+        )
+        assert as_json(report) == as_json(baseline)
+
+    def test_run_plan_serial_matches_unbatched_requests(self):
+        # the serial backend groups by (trace, signature) and shares a
+        # context; reports must equal per-cell run_request results
+        cells = tuple(
+            RunRequest(
+                config=replace(config, engine="fast"),
+                program="li",
+                instructions=20_000,
+            )
+            for config in self.BATCH[:4]
+        )
+        plan = RunPlan(cells)
+        results = plan.execute(backend="serial")
+
+        def stable(report) -> str:
+            payload = _jsonable(report)
+            # manifest and run metadata carry wall time / pid, which
+            # legitimately vary per run
+            payload.pop("manifest", None)
+            payload.pop("meta", None)
+            return json.dumps(payload, sort_keys=True)
+
+        for cell in cells:
+            direct = run_request(cell)
+            assert stable(results[cell]) == stable(direct)
+            assert results[cell].manifest.extra["engine_class"] in (
+                "fast-batched",
+                "fast-single",
+            )
 
 
 class TestPackedTrace:

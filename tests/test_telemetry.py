@@ -441,6 +441,51 @@ class TestBench:
         with pytest.raises(ValueError):
             bench_module.gate(payload, payload, tolerance=1.5)
 
+    def test_sweep_payload_records_engine_classes(self):
+        payload = bench_module.bench_sweep(
+            programs=("li",),
+            instructions=bench_module.SWEEP_INSTRUCTIONS_SMOKE,
+            cache_grid=bench_module.SWEEP_GRID_SMOKE,
+            figures=("fig4",),
+        )
+        assert set(payload["results"]) == {
+            "reference",
+            "fast_serial",
+            "fast_process",
+        }
+        assert payload["results"]["fast_serial"]["speedup_vs_reference"] > 0
+        extra = payload["manifest"]["extra"]
+        classes = extra["engine_classes"]
+        assert set(classes) == {
+            "fast_batched",
+            "fast_single",
+            "reference",
+            "fallback",
+        }
+        # the paper-figure sweep lies entirely inside the closed matrix
+        assert classes["fallback"] == 0
+        assert extra["fallback_cells"] == []
+        assert sum(classes.values()) - classes["fallback"] == extra["cells_unique"]
+        assert bench_module.gate(payload, payload) == []
+
+    def test_gate_fails_on_fallback_cells(self):
+        payload = self._engine_payload()
+        baseline = json.loads(json.dumps(payload))
+        payload["manifest"]["extra"] = {
+            "engine_classes": {
+                "fast_batched": 10,
+                "fast_single": 2,
+                "reference": 2,
+                "fallback": 2,
+            },
+            "fallback_cells": [
+                {"label": "btb-128e-1w @ 8K/1w", "reason": "wrong-path-modelling"}
+            ],
+        }
+        violations = bench_module.gate(payload, baseline)
+        assert any("fell back" in violation for violation in violations)
+        assert any("wrong-path-modelling" in violation for violation in violations)
+
 
 class TestBenchCLI:
     def test_bench_writes_artifacts_and_gate_gates(self, tmp_path):
