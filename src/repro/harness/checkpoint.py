@@ -49,6 +49,16 @@ JOURNAL_NAME = "journal.ndjson"
 FAILURES_NAME = "FAILURES.json"
 
 
+def payload_digest(payload_text: str) -> str:
+    """SHA-256 hex digest of a serialised cell payload.
+
+    The integrity currency shared by the journal's consumers and the
+    persistent result store (:mod:`repro.service.store`): payloads are
+    checksummed on write and re-verified on read, so silent on-disk
+    corruption surfaces as a cache miss instead of a wrong number."""
+    return hashlib.sha256(payload_text.encode("utf-8")).hexdigest()
+
+
 def cell_key(request: "RunRequest") -> str:
     """Stable content hash of one simulation cell.
 

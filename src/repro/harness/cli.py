@@ -10,6 +10,10 @@ Examples::
     python -m repro.harness bench --gate BENCH_engine.json --tolerance 0.10
     python -m repro.harness attribute --smoke --attr-dir results/
     repro-harness fig7 --programs gcc cfront --telemetry run.ndjson
+    python -m repro.harness fig5 --store results/store.sqlite --jobs 4
+    python -m repro.harness serve --store results/store.sqlite --port 8787
+    python -m repro.harness store stats --store results/store.sqlite
+    python -m repro.harness store gc --store results/store.sqlite --gc-keep 500
 
 ``list`` prints every registered experiment with its simulation cell
 count (computed by materialising the plans — no simulation runs) and
@@ -50,6 +54,14 @@ that still fails is *quarantined* — the sweep finishes, a
 ``FAILURES.json`` manifest names the cell, and the exit status is
 non-zero.  ``--faults FILE`` arms the deterministic fault-injection
 plan in :mod:`repro.testing.faults` (used by the CI chaos-smoke job).
+
+The service flags (docs/SERVICE.md) wire the harness to the
+:mod:`repro.service` subsystem: ``--store PATH`` makes any experiment
+run store-aware — cells already in the content-addressed result store
+are served without simulation and fresh results are written back;
+``serve`` starts the simulation service (async HTTP API + sharded job
+queue) against that store; ``store stats`` / ``store gc`` / ``store
+verify`` administer the store itself.
 """
 
 from __future__ import annotations
@@ -59,12 +71,16 @@ import inspect
 import os
 import sys
 import time
-import warnings
 from typing import Callable, List, Optional
 
 from repro.harness.config import ENGINES, FRONTENDS
 from repro.harness.experiments import EXPERIMENTS, SPECS, ExperimentResult
-from repro.harness.runner import ExecutionPolicy, RunPlan
+from repro.harness.runner import (
+    ExecutionPolicy,
+    RunPlan,
+    resolve_worker_count,
+    validate_worker_count,
+)
 from repro.harness.spec import run_plans, with_engine
 from repro.harness.tables import format_seconds, format_table
 from repro.telemetry.core import Registry, use
@@ -75,18 +91,16 @@ from repro.workloads.profiles import paper_programs
 
 def _jobs_value(text: str) -> int:
     """``--jobs`` validator: a clean one-line error instead of a
-    traceback for non-integers and negatives (0 stays 'one per CPU')."""
+    traceback for non-integers and negatives (0 stays 'one per CPU').
+
+    Delegates to :func:`repro.harness.runner.validate_worker_count`,
+    the same resolver the service applies to a job spec's ``jobs``
+    field, so CLI and HTTP submissions reject identical inputs with
+    identical messages."""
     try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected an integer worker count, got {text!r}"
-        ) from None
-    if value < 0:
-        raise argparse.ArgumentTypeError(
-            f"worker count must be >= 0 (0 = one per CPU), got {value}"
-        )
-    return value
+        return validate_worker_count(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -99,13 +113,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "attribute", "list", "bench"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "attribute", "list", "bench", "serve", "store"],
         help=(
             "which table/figure to regenerate ('all' runs everything, "
             "'list' shows the registry with per-experiment cell counts, "
             "'bench' runs the standardised benchmarks and writes "
             "BENCH_*.json artifacts, 'attribute' renders per-cause/"
-            "per-site penalty profiles)"
+            "per-site penalty profiles, 'serve' starts the simulation "
+            "service HTTP API, 'store' administers the result store)"
+        ),
+    )
+    parser.add_argument(
+        "subaction",
+        nargs="?",
+        default=None,
+        help=(
+            "'store' only: stats (default), gc, or verify — see the "
+            "store options group"
         ),
     )
     parser.add_argument(
@@ -250,6 +275,61 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.10,
         help="bench --gate: allowed fractional slowdown (default: 0.10)",
+    )
+    service = parser.add_argument_group("service options (docs/SERVICE.md)")
+    service.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=(
+            "content-addressed result store (SQLite): experiment runs "
+            "serve cached cells from it and persist fresh results; "
+            "'serve' and 'store' default to ./repro-store.sqlite when "
+            "this flag is omitted"
+        ),
+    )
+    service.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: interface to bind (default: 127.0.0.1)",
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="serve: TCP port to bind; 0 picks an ephemeral port "
+        "(default: 8787)",
+    )
+    service.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        metavar="N",
+        help="serve: scheduler threads running jobs in parallel "
+        "(default: 2)",
+    )
+    store_group = parser.add_argument_group("store options")
+    store_group.add_argument(
+        "--gc-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="store gc: drop entries neither written nor hit within "
+        "SECONDS",
+    )
+    store_group.add_argument(
+        "--gc-keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="store gc: after any age pruning, keep only the N most "
+        "recently hit entries",
+    )
+    store_group.add_argument(
+        "--fix",
+        action="store_true",
+        help="store verify: delete corrupt entries instead of only "
+        "reporting them",
     )
     attribute = parser.add_argument_group("attribute options")
     attribute.add_argument(
@@ -476,6 +556,85 @@ def _run_attribute(args: argparse.Namespace) -> int:
     return failure_status
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``serve`` subcommand: start the simulation service HTTP API.
+
+    Builds the result store, a :class:`~repro.service.scheduler.
+    JobScheduler` honouring the shared ``--jobs`` / resilience flags,
+    and blocks serving HTTP until interrupted (docs/SERVICE.md)."""
+    from repro.service.api import serve
+    from repro.service.scheduler import JobScheduler
+    from repro.service.store import DEFAULT_STORE_NAME, ResultStore
+
+    store = ResultStore(args.store or DEFAULT_STORE_NAME)
+    backend = "serial" if args.jobs == 1 else "process"
+    jobs = None if args.jobs < 1 else args.jobs
+    scheduler = JobScheduler(
+        store,
+        backend=backend,
+        jobs=jobs,
+        concurrency=max(1, args.concurrency),
+        policy=_build_policy(args),
+    )
+    print(f"result store: {store.path}", flush=True)
+    try:
+        serve(scheduler, host=args.host, port=args.port)
+    finally:
+        store.close()
+    return 0
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    """``store`` subcommand: administer the result store.
+
+    ``stats`` prints the store statistics, ``gc`` prunes by age and/or
+    count (``--gc-max-age`` / ``--gc-keep``), ``verify`` re-checksums
+    every payload (``--fix`` deletes corrupt rows) and exits non-zero
+    when corruption was found and left in place."""
+    from repro.service.store import DEFAULT_STORE_NAME, ResultStore
+
+    path = args.store or DEFAULT_STORE_NAME
+    if not os.path.exists(path) and args.subaction != "stats":
+        print(f"store {path} does not exist")
+        return 1
+    store = ResultStore(path)
+    try:
+        if args.subaction == "stats":
+            stats = store.stats()
+            rows = [
+                (key, str(stats[key]))
+                for key in (
+                    "path",
+                    "entries",
+                    "total_hits",
+                    "payload_bytes",
+                    "db_bytes",
+                    "programs",
+                    "configs",
+                )
+            ]
+            print(format_table(["statistic", "value"], rows))
+            return 0
+        if args.subaction == "gc":
+            outcome = store.gc(max_age_s=args.gc_max_age, keep=args.gc_keep)
+            print(
+                f"store gc: removed {outcome['removed']} entr(ies), "
+                f"{outcome['kept']} kept"
+            )
+            return 0
+        outcome = store.verify(fix=args.fix)
+        print(
+            f"store verify: {outcome['checked']} entr(ies) checked, "
+            f"{len(outcome['corrupt'])} corrupt, "
+            f"{outcome['removed']} removed"
+        )
+        for entry in outcome["corrupt"]:
+            print(f"  CORRUPT cell={entry['cell_key']}")
+        return 0 if outcome["ok"] or args.fix else 1
+    finally:
+        store.close()
+
+
 def _with_telemetry(
     args: argparse.Namespace, body: Callable[[argparse.Namespace], int]
 ) -> int:
@@ -513,18 +672,26 @@ def _validate_args(
         parser.error(
             f"--cell-timeout must be positive, got {args.cell_timeout}"
         )
-    cpus = os.cpu_count() or 1
+    if args.experiment == "store":
+        if args.subaction is None:
+            args.subaction = "stats"
+        if args.subaction not in ("stats", "gc", "verify"):
+            parser.error(
+                f"store action must be stats, gc or verify, "
+                f"got {args.subaction!r}"
+            )
+    elif args.subaction is not None:
+        parser.error(
+            f"{args.experiment!r} takes no sub-action "
+            f"(got {args.subaction!r})"
+        )
     # remember what was asked for: a --jobs 2 clamped to 1 on a 1-CPU
     # box must still take the pooled (deduplicating) path
     args.requested_jobs = args.jobs
-    if args.jobs > cpus:
-        warnings.warn(
-            f"--jobs {args.jobs} exceeds the {cpus} available CPU(s); "
-            f"clamping to {cpus}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        args.jobs = cpus
+    if args.jobs > 0:
+        # shared resolver with the service (warns + clamps above the
+        # CPU count); 0 stays 0 = "one worker per CPU" downstream
+        args.jobs = resolve_worker_count(args.jobs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -555,6 +722,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_bench(args)
     if args.experiment == "attribute":
         return _run_attribute(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
+    if args.experiment == "store":
+        return _run_store(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -563,6 +734,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         getattr(args, "requested_jobs", args.jobs) == 1
         and policy is None
         and args.engine == "reference"
+        and args.store is None
     ):
         # serial path: run each experiment's own plan in-process,
         # bit-identical to the historical per-figure loops
@@ -579,7 +751,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     # pooled path: collect every requested experiment's cells into one
     # deduplicated plan and execute it — on the process backend for
     # --jobs != 1, in-process for a resilient --jobs 1 run (both
-    # backends share identical retry/quarantine/resume semantics)
+    # backends share identical retry/quarantine/resume semantics);
+    # --store additionally serves already-persisted cells from the
+    # content-addressed result store and writes fresh ones back
     started = time.time()
     plans = with_engine(
         [
@@ -591,7 +765,18 @@ def _dispatch(args: argparse.Namespace) -> int:
     )
     backend = "serial" if args.jobs == 1 else "process"
     jobs = None if args.jobs < 1 else args.jobs
-    results, plan = run_plans(plans, backend=backend, jobs=jobs, policy=policy)
+    store = None
+    if args.store is not None:
+        from repro.service.store import ResultStore
+
+        store = ResultStore(args.store)
+    try:
+        results, plan = run_plans(
+            plans, backend=backend, jobs=jobs, policy=policy, store=store
+        )
+    finally:
+        if store is not None:
+            store.close()
     elapsed = time.time() - started
     for result in results:
         print(f"=== {result.title} ===")
@@ -610,6 +795,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         f"{plan.requested} cells requested, {plan.unique} executed "
         f"({backend} backend, jobs={args.jobs if args.jobs >= 1 else 'auto'})]"
     )
+    if args.store is not None:
+        print(
+            f"[store {args.store}: {plan.store_hits} cell(s) served, "
+            f"{plan.store_misses} simulated]"
+        )
     return _report_failures(plan, args)
 
 

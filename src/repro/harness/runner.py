@@ -112,6 +112,88 @@ from repro.workloads.trace import Trace
 DEFAULT_WARMUP = 0.30
 
 
+#: observer events a plan execution can emit (see :func:`notify`)
+OBSERVER_EVENTS = (
+    "store-hit",
+    "resumed",
+    "completed",
+    "quarantined",
+)
+
+
+#: an execution observer: ``observer(event, request, payload)`` where
+#: *event* is one of :data:`OBSERVER_EVENTS`, and *payload* is the
+#: cell's report (``store-hit``/``resumed``/``completed``) or its
+#: :class:`~repro.harness.checkpoint.CellFailure` (``quarantined``)
+PlanObserver = Callable[[str, "RunRequest", Any], None]
+
+
+def notify(
+    observer: Optional[PlanObserver],
+    event: str,
+    request: "RunRequest",
+    payload: Any,
+) -> None:
+    """Deliver one observer event, swallowing observer exceptions.
+
+    Observers are progress taps (the service layer streams them to
+    clients); a broken observer must never take a running plan down
+    with it, so delivery failures are contained here."""
+    if observer is None:
+        return
+    try:
+        observer(event, request, payload)
+    except Exception:  # pragma: no cover - observer bugs stay contained
+        pass
+
+
+def validate_worker_count(value: Any) -> int:
+    """Parse and validate a worker count, shared by the CLI and the
+    service API.
+
+    Accepts anything ``int()`` can parse; raises :class:`ValueError`
+    with a clean one-line message for non-integers and negatives.
+    ``0`` means "one worker per CPU" and is preserved verbatim —
+    :func:`resolve_worker_count` turns it into a concrete count."""
+    try:
+        parsed = int(str(value))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"expected an integer worker count, got {value!r}"
+        ) from None
+    if parsed < 0:
+        raise ValueError(
+            f"worker count must be >= 0 (0 = one per CPU), got {parsed}"
+        )
+    return parsed
+
+
+def resolve_worker_count(
+    value: Any, cpus: Optional[int] = None, warn: bool = True
+) -> int:
+    """Resolve a requested worker count to a concrete pool size.
+
+    The one validated resolver both the CLI (``--jobs``) and the
+    service share: *value* is validated by
+    :func:`validate_worker_count`, ``0``/``None`` become one worker
+    per CPU, and values above the CPU count clamp (with a
+    ``RuntimeWarning`` unless *warn* is off)."""
+    parsed = validate_worker_count(0 if value is None else value)
+    available = cpus if cpus is not None else (os.cpu_count() or 1)
+    if parsed == 0:
+        return available
+    if parsed > available:
+        if warn:
+            warnings.warn(
+                f"worker count {parsed} exceeds the {available} available "
+                f"CPU(s); clamping to {available}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return available
+    return parsed
+
+
 @dataclass(frozen=True)
 class RunRequest:
     """One simulation cell: *config* applied to one generated trace.
@@ -434,9 +516,11 @@ class _PlanSupervisor:
         requests: Sequence[RunRequest],
         policy: ExecutionPolicy,
         strict: bool = False,
+        observer: Optional[PlanObserver] = None,
     ) -> None:
         self.policy = policy
         self.strict = strict
+        self.observer = observer
         self.registry = get_registry()
         self.results: Dict[RunRequest, SimulationReport] = {}
         self.failures: Dict[RunRequest, CellFailure] = {}
@@ -453,6 +537,8 @@ class _PlanSupervisor:
             if replayed:
                 self.results.update(replayed)
                 self.registry.counter("runner.resumed_cells").add(len(replayed))
+                for request, report in replayed.items():
+                    notify(self.observer, "resumed", request, report)
                 self.pending = [
                     request
                     for request in self.pending
@@ -465,6 +551,7 @@ class _PlanSupervisor:
         if self.journal is not None:
             self.journal.append(request, report)
             self.registry.counter("runner.journal_appends").add()
+        notify(self.observer, "completed", request, report)
 
     def fail(self, request: RunRequest, record: Dict[str, Any]) -> Optional[float]:
         """Record one failed attempt; returns the backoff delay for a
@@ -509,7 +596,7 @@ class _PlanSupervisor:
             error=record.get("type", ""),
         ):
             pass
-        self.failures[request] = CellFailure(
+        failure = CellFailure(
             request=request,
             error_type=record.get("type", ""),
             message=record.get("message", ""),
@@ -517,6 +604,8 @@ class _PlanSupervisor:
             attempts=attempts,
             kind="deterministic" if repeated else "exhausted",
         )
+        self.failures[request] = failure
+        notify(self.observer, "quarantined", request, failure)
 
     def finish(self) -> None:
         """Flush and release the journal handle."""
@@ -599,6 +688,7 @@ def _execute_serial(
     jobs: Optional[int] = None,
     policy: Optional[ExecutionPolicy] = None,
     manifest_extra: Optional[Dict[str, Any]] = None,
+    observer: Optional[PlanObserver] = None,
 ) -> _ExecuteResult:
     """In-process backend: cells grouped by (trace, signature), each
     group sharing one batch context; insertion order within groups.
@@ -618,8 +708,9 @@ def _execute_serial(
                     manifest_extra=manifest_extra,
                     context=context,
                 )
+                notify(observer, "completed", request, results[request])
         return results, {}
-    supervisor = _PlanSupervisor(requests, policy)
+    supervisor = _PlanSupervisor(requests, policy, observer=observer)
     try:
         for group in _context_groups(supervisor.pending):
             context = _shared_batch_context(group)
@@ -662,6 +753,24 @@ def _batches_by_trace(requests: Sequence[RunRequest]) -> List[List[RunRequest]]:
         key = (request.resolved_trace_key(), _group_signature(request))
         groups.setdefault(key, []).append(request)
     return [groups[key] for key in sorted(groups)]
+
+
+def plan_shards(requests: Sequence[RunRequest]) -> List[Dict[str, Any]]:
+    """Describe the (trace key, engine-class signature) shards a plan
+    executes as — one entry per batch, in deterministic batch order.
+
+    The service layer stamps this into job manifests so clients can
+    see how their cells were grouped (and that batched kernel passes
+    survived the service boundary); it is also what the scheduler
+    reports as a job's shard count."""
+    return [
+        {
+            "trace_key": list(batch[0].resolved_trace_key()),
+            "signature": _group_signature(batch[0]),
+            "cells": len(batch),
+        }
+        for batch in _batches_by_trace(requests)
+    ]
 
 
 def _worker_init(telemetry_enabled: bool = False) -> None:
@@ -786,6 +895,7 @@ def _execute_process(
     requests: Sequence[RunRequest],
     jobs: Optional[int] = None,
     policy: Optional[ExecutionPolicy] = None,
+    observer: Optional[PlanObserver] = None,
 ) -> _ExecuteResult:
     """Multiprocessing backend: same-trace batches fan out to a
     supervised ``ProcessPoolExecutor``.
@@ -805,7 +915,9 @@ def _execute_process(
     strict = policy is None
     effective = ExecutionPolicy(max_retries=0) if strict else policy
     registry = get_registry()
-    supervisor = _PlanSupervisor(requests, effective, strict=strict)
+    supervisor = _PlanSupervisor(
+        requests, effective, strict=strict, observer=observer
+    )
     if not supervisor.pending:
         supervisor.finish()
         return supervisor.results, supervisor.failures
@@ -983,6 +1095,9 @@ class RunPlan:
         self._seen: set = set()
         self.requested = 0
         self.failures: Dict[RunRequest, CellFailure] = {}
+        #: cells served / executed by the last store-aware execution
+        self.store_hits = 0
+        self.store_misses = 0
         self.add_all(requests)
 
     def add(self, request: RunRequest) -> RunRequest:
@@ -1013,13 +1128,26 @@ class RunPlan:
         backend: str = "serial",
         jobs: Optional[int] = None,
         policy: Optional[ExecutionPolicy] = None,
+        store: Optional[Any] = None,
+        observer: Optional[PlanObserver] = None,
     ) -> Dict[RunRequest, SimulationReport]:
         """Run every unique cell through *backend*; returns the full
         request → report mapping.
 
         With a *policy*, failing cells retry and quarantine instead of
         aborting: the mapping then omits quarantined cells, whose
-        failure records land in ``self.failures``."""
+        failure records land in ``self.failures``.
+
+        With a *store* (any object with the
+        :class:`~repro.service.store.ResultStore` ``fetch``/``put_many``
+        contract), execution is **store-aware**: cells whose
+        content key + trace key are already stored are served from it
+        verbatim (no simulation, the stored report with its original
+        provenance), only the misses execute through *backend*, and
+        every freshly computed report is persisted for the next
+        overlapping plan.  ``store_hits``/``store_misses`` record the
+        split.  An *observer* receives per-cell progress events —
+        see :data:`OBSERVER_EVENTS`."""
         try:
             execute = BACKENDS[backend]
         except KeyError:
@@ -1027,9 +1155,22 @@ class RunPlan:
                 f"unknown backend {backend!r}; expected one of "
                 f"{tuple(sorted(BACKENDS))}"
             ) from None
-        results, failures = execute(self._order, jobs, policy)
+        pending: List[RunRequest] = list(self._order)
+        served: Dict[RunRequest, SimulationReport] = {}
+        if store is not None:
+            served = store.fetch(pending)
+            for request, report in served.items():
+                notify(observer, "store-hit", request, report)
+            pending = [request for request in pending if request not in served]
+        self.store_hits = len(served)
+        self.store_misses = len(pending)
+        results, failures = execute(pending, jobs, policy, observer=observer)
+        if store is not None and results:
+            store.put_many(results)
         self.failures = failures
-        return results
+        merged = dict(served)
+        merged.update(results)
+        return merged
 
 
 # ---------------------------------------------------------------------------

@@ -173,6 +173,8 @@ def run_plans(
     backend: str = "serial",
     jobs: Optional[int] = None,
     policy: Optional[ExecutionPolicy] = None,
+    store=None,
+    observer=None,
 ) -> Tuple[List[ExperimentResult], RunPlan]:
     """Execute many experiments against one shared, deduplicated plan.
 
@@ -180,12 +182,23 @@ def run_plans(
     executed :class:`RunPlan`, whose ``requested``/``unique`` counters
     report how many engine runs cross-experiment dedup saved.  Under a
     resilience *policy*, quarantined cells render as placeholder
-    reports and their failure records stay on ``plan.failures``.
+    reports and their failure records stay on ``plan.failures``.  With
+    a *store* (a :class:`repro.service.store.ResultStore`), cells
+    already persisted are served without simulation and fresh results
+    are written back; *observer* receives per-cell progress events
+    (see :data:`repro.harness.runner.OBSERVER_EVENTS`).
     """
     plan = RunPlan()
     for experiment in plans:
         plan.add_all(experiment.cells)
     reports = _with_placeholders(
-        plan.execute(backend=backend, jobs=jobs, policy=policy), plan
+        plan.execute(
+            backend=backend,
+            jobs=jobs,
+            policy=policy,
+            store=store,
+            observer=observer,
+        ),
+        plan,
     )
     return [experiment.finish(reports) for experiment in plans], plan

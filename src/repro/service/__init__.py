@@ -1,0 +1,49 @@
+"""Simulation-as-a-service: async HTTP API, job scheduler, result store.
+
+The long-running, multi-tenant face of the harness (docs/SERVICE.md).
+Three cooperating layers, each usable on its own:
+
+* :mod:`repro.service.store` — a persistent, content-addressed
+  :class:`~repro.service.store.ResultStore`: completed simulation
+  cells keyed by (content cell key, resolved trace key) in SQLite,
+  checksummed payloads, hit/miss/dedup telemetry.  The promotion of
+  the PR 4 checkpoint journal from per-run file to shared database.
+* :mod:`repro.service.scheduler` + :mod:`repro.service.jobs` — a
+  sharded job queue: submitted plans become
+  :class:`~repro.service.jobs.Job` values whose cells execute through
+  the existing :class:`~repro.harness.runner.RunPlan` backends
+  (retries, timeouts, quarantine, engine-class batching all intact),
+  store-aware so overlapping jobs share results, with per-cell
+  progress events on a streamable
+  :class:`~repro.service.jobs.JobEventLog`.
+* :mod:`repro.service.api` — a stdlib-asyncio HTTP server exposing
+  submit / status / NDJSON event streaming / results / store stats;
+  no framework dependency.
+
+Wire formats (job specs, serialised cells, manifests) live in
+:mod:`repro.service.protocol`.
+"""
+
+from repro.service.jobs import Job, JobEventLog, JobState
+from repro.service.protocol import (
+    SERVICE_SCHEMA,
+    JobSpecError,
+    parse_job_spec,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.service.scheduler import JobScheduler
+from repro.service.store import ResultStore
+
+__all__ = [
+    "Job",
+    "JobEventLog",
+    "JobScheduler",
+    "JobSpecError",
+    "JobState",
+    "ResultStore",
+    "SERVICE_SCHEMA",
+    "parse_job_spec",
+    "request_from_dict",
+    "request_to_dict",
+]

@@ -1,0 +1,405 @@
+"""Async HTTP face of the simulation service (stdlib asyncio only).
+
+A deliberately small HTTP/1.1 server built on
+:func:`asyncio.start_server` — no web framework, matching the repo's
+no-new-dependencies rule.  Blocking simulation work never runs on the
+event loop: the loop only parses requests, serialises JSON and streams
+event-log tails; the :class:`~repro.service.scheduler.JobScheduler`
+threads do the simulating.
+
+Routes (all JSON; ``Connection: close`` per request):
+
+=======  ==============================  =====================================
+GET      /healthz                        liveness + job-state totals
+GET      /api/v1/experiments             registered experiment names
+GET      /api/v1/store/stats             result-store statistics
+POST     /api/v1/jobs                    submit a job spec → 202 + status
+GET      /api/v1/jobs                    list all jobs (oldest first)
+GET      /api/v1/jobs/<id>               one job's status
+GET      /api/v1/jobs/<id>/events        NDJSON event stream (chunked);
+                                         ``?from=N`` resumes at seq N
+GET      /api/v1/jobs/<id>/result        result document (409 until done)
+GET      /api/v1/jobs/<id>/manifest      job manifest (409 until done)
+=======  ==============================  =====================================
+
+The event stream is plain newline-delimited JSON over chunked
+transfer encoding: one object per event, ending when the job reaches
+a terminal state (every event is flushed before the terminal state is
+set, so the stream never truncates).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.jobs import Job
+from repro.service.protocol import SERVICE_SCHEMA, JobSpecError
+from repro.service.scheduler import JobScheduler
+
+#: maximum accepted request-body size (a full 48-cell sweep spec is ~20 kB)
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class ServiceServer:
+    """One service instance: a scheduler plus its asyncio HTTP server.
+
+    Construct, then either ``await serve_forever()`` on a running loop
+    (the CLI path) or call :meth:`start_background` to run loop and
+    server on a daemon thread (the test / embedding path)."""
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    # -- request plumbing ----------------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request; ``None`` on malformed input."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > MAX_BODY_BYTES:
+            return method, target, headers, b"\x00"  # sentinel: too large
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _json_bytes(payload: Any) -> bytes:
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+    ) -> None:
+        body = self._json_bytes(payload) + b"\n"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, status: int, message: str
+    ) -> None:
+        await self._send_json(
+            writer,
+            status,
+            {"schema": SERVICE_SCHEMA, "error": message, "status": status},
+        )
+
+    # -- routing -------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection (one request; ``Connection: close``)."""
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, target, _headers, body = parsed
+            if body == b"\x00":
+                await self._send_error(writer, 413, "request body too large")
+                return
+            path, _, query = target.partition("?")
+            await self._route(writer, method, path, query, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # the server must outlive a bad handler
+            try:
+                await self._send_error(
+                    writer, 500, f"{type(exc).__name__}: {exc}"
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+    ) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "schema": SERVICE_SCHEMA,
+                    "ok": True,
+                    "jobs": self.scheduler.counts(),
+                },
+            )
+            return
+        if path == "/api/v1/experiments" and method == "GET":
+            from repro.harness.experiments import SPECS
+
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "schema": SERVICE_SCHEMA,
+                    "experiments": {
+                        name: SPECS[name].summary for name in sorted(SPECS)
+                    },
+                },
+            )
+            return
+        if path == "/api/v1/store/stats" and method == "GET":
+            await self._send_json(
+                writer,
+                200,
+                {"schema": SERVICE_SCHEMA, "store": self.scheduler.store.stats()},
+            )
+            return
+        if path == "/api/v1/jobs" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                await self._send_error(writer, 400, f"invalid JSON body: {exc}")
+                return
+            try:
+                job = await asyncio.get_running_loop().run_in_executor(
+                    None, self.scheduler.submit, payload
+                )
+            except JobSpecError as exc:
+                await self._send_error(writer, 400, str(exc))
+                return
+            await self._send_json(writer, 202, job.status_dict())
+            return
+        if path == "/api/v1/jobs" and method == "GET":
+            await self._send_json(
+                writer,
+                200,
+                {"schema": SERVICE_SCHEMA, "jobs": self.scheduler.list_jobs()},
+            )
+            return
+        if path.startswith("/api/v1/jobs/"):
+            await self._route_job(writer, method, path, query)
+            return
+        await self._send_error(writer, 404, f"no route for {method} {path}")
+
+    async def _route_job(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: str,
+    ) -> None:
+        parts = path[len("/api/v1/jobs/") :].split("/")
+        job = self.scheduler.get(parts[0])
+        if job is None:
+            await self._send_error(writer, 404, f"unknown job {parts[0]!r}")
+            return
+        if method != "GET":
+            await self._send_error(writer, 405, f"{method} not allowed here")
+            return
+        action = parts[1] if len(parts) > 1 else ""
+        if action == "":
+            await self._send_json(writer, 200, job.status_dict())
+        elif action == "events":
+            await self._stream_events(writer, job, query)
+        elif action == "result":
+            if not job.done:
+                await self._send_error(
+                    writer, 409, f"job {job.id} is {job.state.value}"
+                )
+            elif job.result is None:
+                await self._send_error(writer, 409, job.error or "job failed")
+            else:
+                await self._send_json(writer, 200, job.result)
+        elif action == "manifest":
+            if job.manifest is None:
+                await self._send_error(
+                    writer, 409, f"job {job.id} has no manifest yet"
+                )
+            else:
+                await self._send_json(writer, 200, job.manifest)
+        else:
+            await self._send_error(writer, 404, f"no job action {action!r}")
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job: Job, query: str
+    ) -> None:
+        """Chunked NDJSON tail of the job's event log until terminal."""
+        offset = 0
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == "from" and value.isdigit():
+                offset = int(value)
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        while True:
+            events = job.log.events_since(offset)
+            if events:
+                offset += len(events)
+                chunk = b"".join(
+                    self._json_bytes(event) + b"\n" for event in events
+                )
+                writer.write(f"{len(chunk):x}\r\n".encode("latin-1"))
+                writer.write(chunk + b"\r\n")
+                await writer.drain()
+                continue
+            # terminal state is set only after the final event lands, so
+            # done + drained log means the stream is complete
+            if job.done:
+                break
+            await asyncio.get_running_loop().run_in_executor(
+                None, job.log.wait_beyond, offset, 0.25
+            )
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- server lifecycle ----------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (resolves an ephemeral port)."""
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        self._ready.set()
+
+    async def serve_forever(self) -> None:
+        """Bind (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}"
+
+    def start_background(self, timeout: float = 10.0) -> str:
+        """Run the event loop + server on a daemon thread; returns the
+        base URL once the socket is bound."""
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.start())
+                loop.run_forever()
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service HTTP server failed to start")
+        return self.url
+
+    def stop_background(self, timeout: float = 10.0) -> None:
+        """Stop a background server started by :meth:`start_background`."""
+        loop, server = self._loop, self._server
+
+        def _shutdown() -> None:
+            if server is not None:
+                server.close()
+            assert loop is not None
+            loop.stop()
+
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self.scheduler.stop()
+
+
+def serve(
+    scheduler: JobScheduler,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+) -> None:
+    """Blocking entry point for ``python -m repro.harness serve``.
+
+    Prints the bound URL (flushed, so wrappers can scrape the
+    ephemeral port when *port* is 0) and serves until interrupted."""
+
+    async def _main() -> None:
+        server = ServiceServer(scheduler, host=host, port=port)
+        await server.start()
+        print(f"serving on {server.url}", flush=True)
+        assert server._server is not None
+        async with server._server:
+            await server._server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("service interrupted; shutting down", flush=True)
+    finally:
+        scheduler.stop()

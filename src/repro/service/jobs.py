@@ -1,0 +1,147 @@
+"""Job model of the simulation service: states, event log, registry.
+
+A submitted plan becomes a :class:`Job`: a queued unit of work with a
+monotonically growing, thread-safe :class:`JobEventLog` that the HTTP
+layer streams to clients as NDJSON while scheduler threads append to
+it.  Job state moves strictly ``queued → running → completed|failed``;
+the terminal transition happens *after* the final event is appended,
+so a streamer that observes a terminal state has already seen every
+event.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+import uuid
+from typing import Any, Dict, List, Optional
+
+from repro.service.protocol import SERVICE_SCHEMA, ParsedJobSpec
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle of one job (strictly forward-moving)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+class JobEventLog:
+    """Append-only, thread-safe event sequence with blocking reads.
+
+    Scheduler threads :meth:`append`; streamers poll
+    :meth:`events_since` (cheap slice) or block on :meth:`wait_beyond`
+    until new events land.  Events are plain dicts stamped with the
+    service schema, a per-log sequence number and a wall-clock time."""
+
+    def __init__(self) -> None:
+        self._events: List[Dict[str, Any]] = []
+        self._condition = threading.Condition()
+
+    def append(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the stamped record."""
+        with self._condition:
+            record = {
+                "schema": SERVICE_SCHEMA,
+                "event": event,
+                "seq": len(self._events),
+                "t_s": time.time(),
+                **fields,
+            }
+            self._events.append(record)
+            self._condition.notify_all()
+        return record
+
+    def events_since(self, offset: int) -> List[Dict[str, Any]]:
+        """Every event with ``seq >= offset`` (possibly empty)."""
+        with self._condition:
+            return list(self._events[offset:])
+
+    def wait_beyond(self, offset: int, timeout: float = 1.0) -> bool:
+        """Block until an event with ``seq >= offset`` exists (or
+        *timeout* elapses); returns whether one does."""
+        with self._condition:
+            if len(self._events) > offset:
+                return True
+            self._condition.wait(timeout)
+            return len(self._events) > offset
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._events)
+
+
+class Job:
+    """One submitted plan moving through the service.
+
+    Everything mutable is guarded by the job's lock; ``status_dict``
+    is the JSON the status endpoint returns, ``result``/``manifest``
+    are populated atomically *before* the terminal state transition."""
+
+    def __init__(self, spec: ParsedJobSpec, job_id: Optional[str] = None) -> None:
+        self.id = job_id or f"job-{uuid.uuid4().hex[:12]}"
+        self.spec = spec
+        self.log = JobEventLog()
+        self.submitted_s = time.time()
+        self.started_s: Optional[float] = None
+        self.finished_s: Optional[float] = None
+        self.result: Optional[Dict[str, Any]] = None
+        self.manifest: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self._state = JobState.QUEUED
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> JobState:
+        """Current lifecycle state (thread-safe read)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in (JobState.COMPLETED, JobState.FAILED)
+
+    def mark_running(self) -> None:
+        """Transition ``queued → running`` (scheduler-thread only)."""
+        with self._lock:
+            self._state = JobState.RUNNING
+            self.started_s = time.time()
+
+    def complete(
+        self, result: Dict[str, Any], manifest: Dict[str, Any]
+    ) -> None:
+        """Attach the result + manifest, then go terminal."""
+        with self._lock:
+            self.result = result
+            self.manifest = manifest
+            self.finished_s = time.time()
+            self._state = JobState.COMPLETED
+
+    def fail(self, error: str, manifest: Optional[Dict[str, Any]] = None) -> None:
+        """Record the failure reason, then go terminal."""
+        with self._lock:
+            self.error = error
+            self.manifest = manifest
+            self.finished_s = time.time()
+            self._state = JobState.FAILED
+
+    def status_dict(self) -> Dict[str, Any]:
+        """The JSON body of ``GET /api/v1/jobs/<id>``."""
+        with self._lock:
+            return {
+                "schema": SERVICE_SCHEMA,
+                "job_id": self.id,
+                "kind": self.spec.kind,
+                "name": self.spec.name,
+                "state": self._state.value,
+                "cells": len(self.spec.cells),
+                "events": len(self.log),
+                "submitted_s": self.submitted_s,
+                "started_s": self.started_s,
+                "finished_s": self.finished_s,
+                "error": self.error,
+            }

@@ -1,0 +1,257 @@
+"""Sharded job queue + scheduler of the simulation service.
+
+A fixed pool of scheduler threads drains a FIFO job queue; each job's
+cells execute through the existing
+:class:`~repro.harness.runner.RunPlan` machinery, so everything PR 4-6
+built survives the service boundary unchanged:
+
+* **sharding** — both run-plan backends group cells by (resolved
+  trace key, engine-class signature) and replay each shard through
+  one shared ``TraceReplayContext``, so batched kernel passes work
+  exactly as they do for the CLI; the shard layout is stamped into
+  the job manifest (:func:`repro.harness.runner.plan_shards`);
+* **resilience** — jobs run under an
+  :class:`~repro.harness.runner.ExecutionPolicy` (retries, optional
+  per-cell deadline, quarantine instead of abort), so one poisoned
+  cell degrades one job instead of the service;
+* **result sharing** — execution is store-aware: cells already in the
+  :class:`~repro.service.store.ResultStore` are served without
+  simulation, and fresh results are persisted, so overlapping jobs —
+  concurrent or sequential — pay for each unique cell once.
+
+Per-cell progress (``cell`` events tagged with their provenance
+source) and job lifecycle events land on each job's
+:class:`~repro.service.jobs.JobEventLog` for the HTTP layer to
+stream.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional
+
+from repro.harness.checkpoint import cell_key
+from repro.harness.runner import (
+    ExecutionPolicy,
+    RunPlan,
+    RunRequest,
+    plan_shards,
+    quarantined_report,
+    resolve_worker_count,
+)
+from repro.service.jobs import Job, JobState
+from repro.service.protocol import job_result_payload, parse_job_spec
+from repro.service.store import ResultStore
+from repro.telemetry.core import get_registry
+from repro.telemetry.manifest import job_manifest
+
+#: observer event → provenance source recorded per cell
+_SOURCES = {
+    "store-hit": "store",
+    "resumed": "resumed",
+    "completed": "computed",
+    "quarantined": "quarantined",
+}
+
+
+class JobScheduler:
+    """Thread pool executing submitted jobs against a shared store.
+
+    *concurrency* scheduler threads run whole jobs in parallel;
+    *jobs*/*backend* choose how each job's plan executes its cells
+    (``process`` fans shards out to worker processes).  The default
+    *policy* quarantines failing cells after two retries so a job
+    always terminates with a manifest."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        backend: str = "serial",
+        jobs: Optional[int] = None,
+        concurrency: int = 2,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> None:
+        self.store = store
+        self.backend = backend
+        self.jobs = None if jobs is None else resolve_worker_count(jobs, warn=False)
+        self.concurrency = max(1, int(concurrency))
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self._registry_lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the scheduler threads (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.concurrency):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-scheduler-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting work and join the scheduler threads."""
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+        self._started = False
+
+    # -- submission / lookup -------------------------------------------
+
+    def submit(self, payload: Any) -> Job:
+        """Validate *payload* into a job and enqueue it."""
+        spec = parse_job_spec(payload)
+        job = Job(spec)
+        with self._registry_lock:
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        job.log.append(
+            "job-queued",
+            job_id=job.id,
+            kind=spec.kind,
+            name=spec.name,
+            cells=len(spec.cells),
+        )
+        get_registry().counter("service.jobs_submitted").add()
+        self._queue.put(job.id)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with *job_id*, or ``None``."""
+        with self._registry_lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """Status dicts of every known job, oldest first."""
+        with self._registry_lock:
+            jobs = [self._jobs[job_id] for job_id in self._order]
+        return [job.status_dict() for job in jobs]
+
+    def counts(self) -> Dict[str, int]:
+        """Job totals by state (the health endpoint's summary)."""
+        totals = {state.value: 0 for state in JobState}
+        for status in self.list_jobs():
+            totals[status["state"]] += 1
+        return totals
+
+    # -- execution -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            job = self.get(job_id)
+            if job is None:  # pragma: no cover - registry never drops jobs
+                continue
+            try:
+                self._run_job(job)
+            except Exception as exc:
+                # a scheduler bug must not leave the job spinning
+                job.log.append(
+                    "job-failed", job_id=job.id, error=f"{type(exc).__name__}: {exc}"
+                )
+                job.fail(
+                    f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+                )
+                get_registry().counter("service.jobs_failed").add()
+
+    def _run_job(self, job: Job) -> None:
+        registry = get_registry()
+        spec = job.spec
+        job.mark_running()
+        plan = RunPlan(spec.cells)
+        shards = plan_shards(plan.requests)
+        job.log.append(
+            "job-started",
+            job_id=job.id,
+            cells_requested=plan.requested,
+            cells_unique=plan.unique,
+            shards=len(shards),
+            backend=spec.backend,
+            engine=spec.engine,
+        )
+        sources: Dict[RunRequest, str] = {}
+
+        def observer(event: str, request: RunRequest, payload: Any) -> None:
+            source = _SOURCES.get(event, event)
+            sources[request] = source
+            fields: Dict[str, Any] = {
+                "job_id": job.id,
+                "cell": cell_key(request),
+                "config": request.config.label(),
+                "program": request.program,
+                "source": source,
+            }
+            if event == "quarantined":
+                fields["error_type"] = payload.error_type
+                fields["error"] = payload.message
+            job.log.append("cell", **fields)
+
+        started = time.perf_counter()
+        reports = plan.execute(
+            backend=spec.backend,
+            jobs=spec.jobs if spec.jobs is not None else self.jobs,
+            policy=self.policy,
+            store=self.store,
+            observer=observer,
+        )
+        wall = time.perf_counter() - started
+        for request in plan.failures:
+            reports[request] = quarantined_report(request)
+        rendered = None
+        if spec.finish is not None:
+            rendered = spec.finish(reports)
+        result = job_result_payload(job.id, spec, reports, sources, rendered)
+        computed = sum(1 for source in sources.values() if source == "computed")
+        manifest = job_manifest(
+            job.id,
+            counters={
+                "kind": spec.kind,
+                "name": spec.name,
+                "engine": spec.engine,
+                "backend": spec.backend,
+                "cells_requested": plan.requested,
+                "cells_unique": plan.unique,
+                "dedup_cells": plan.requested - plan.unique,
+                "store_hits": plan.store_hits,
+                "store_misses": plan.store_misses,
+                "cells_computed": computed,
+                "cells_quarantined": len(plan.failures),
+                "shard_count": len(shards),
+                "shards": shards,
+                "wall_time_s": wall,
+                "store": self.store.stats(),
+            },
+        )
+        registry.counter("service.jobs_completed").add()
+        registry.counter("service.cells_served_from_store").add(plan.store_hits)
+        registry.counter("service.cells_computed").add(computed)
+        job.log.append(
+            "job-completed",
+            job_id=job.id,
+            cells_unique=plan.unique,
+            store_hits=plan.store_hits,
+            store_misses=plan.store_misses,
+            cells_computed=computed,
+            cells_quarantined=len(plan.failures),
+            wall_time_s=wall,
+        )
+        job.complete(result, manifest)

@@ -27,6 +27,9 @@ from typing import Any, Dict, Optional, Tuple
 #: manifest-schema version stamped on every manifest
 MANIFEST_SCHEMA = "repro-manifest/v1"
 
+#: job-manifest schema stamped on every service job manifest
+JOB_MANIFEST_SCHEMA = "repro-job-manifest/v1"
+
 
 @functools.lru_cache(maxsize=1)
 def git_sha() -> str:
@@ -85,6 +88,35 @@ class RunManifest:
         if not payload["extra"]:
             payload.pop("extra")
         return payload
+
+
+def job_manifest(
+    job_id: str,
+    counters: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Provenance + accounting manifest for one service job.
+
+    The job-level analogue of :func:`collect`: host provenance (git
+    SHA, interpreter, platform, peak RSS) plus the job's *counters* —
+    cell totals, store hit/miss/dedup splits, shard layout, wall time
+    — nested under ``counters``.  The service stamps one
+    on every completed job (``GET /api/v1/jobs/<id>/manifest``), which
+    is what the CI smoke job uploads and what the resubmission test
+    asserts its "zero cells re-simulated" claim against."""
+    payload: Dict[str, Any] = {
+        "schema": JOB_MANIFEST_SCHEMA,
+        "job_id": job_id,
+        "git_sha": git_sha(),
+        "python": platform_module.python_version(),
+        "platform": f"{platform_module.system()}-{platform_module.machine()}",
+        "peak_rss_kb": peak_rss_kb(),
+        "pid": os.getpid(),
+    }
+    payload["counters"] = dict(counters or {})
+    if extra:
+        payload["extra"] = dict(extra)
+    return payload
 
 
 def collect(

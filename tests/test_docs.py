@@ -32,7 +32,7 @@ class TestReadme:
         text = self.readme()
         for name in re.findall(r"python -m repro\.harness (\S+)", text):
             name = name.strip("`")
-            if name in ("all", "list", "bench", "attribute"):
+            if name in ("all", "list", "bench", "attribute", "serve", "store"):
                 continue
             assert name in EXPERIMENTS, name
 
@@ -49,6 +49,7 @@ class TestReadme:
             "docs/ARCHITECTURE.md",
             "docs/TELEMETRY.md",
             "docs/PERFORMANCE.md",
+            "docs/SERVICE.md",
         ):
             assert doc in text
             assert (REPO / doc).exists()
@@ -222,6 +223,7 @@ class TestLayout:
             "workloads",
             "harness",
             "telemetry",
+            "service",
         ):
             assert (REPO / "src" / "repro" / package / "__init__.py").exists()
 
