@@ -9,7 +9,17 @@
   rate and NLS occupancy/alias rate vs entry count);
 * :mod:`repro.analysis.sensitivity` — penalty-model sensitivity: how
   the NLS-vs-BTB conclusion moves as the misfetch/mispredict/miss
-  penalties change with pipeline depth.
+  penalties change with pipeline depth;
+* :mod:`repro.analysis.results` — cross-run loading: export sets,
+  the result store and bench artifacts flattened into one tidy table
+  (:class:`~repro.analysis.results.ResultFrame`, pandas-upgradable);
+* :mod:`repro.analysis.stat_tests` — paired-bootstrap / Mann-Whitney
+  comparisons across seeds with Benjamini-Hochberg correction and a
+  machine-readable verdict table;
+* :mod:`repro.analysis.figures` / :mod:`repro.analysis.rendering` —
+  paper-figure reproductions (Figs 4/5/8, Table 1 audit) rendered
+  into a self-contained HTML/markdown regression dashboard
+  (``harness analyze``, docs/ANALYSIS.md).
 """
 
 from repro.analysis.attribution import (
@@ -21,7 +31,10 @@ from repro.analysis.attribution import (
 )
 from repro.analysis.breakdown import penalty_breakdown
 from repro.analysis.capacity import btb_capacity_curve, nls_capacity_curve
+from repro.analysis.rendering import render_dashboard
+from repro.analysis.results import ResultFrame, load_export_sets, load_store
 from repro.analysis.sensitivity import penalty_sensitivity
+from repro.analysis.stat_tests import compare, gate
 
 __all__ = [
     "AttributionProfile",
@@ -33,4 +46,10 @@ __all__ = [
     "btb_capacity_curve",
     "nls_capacity_curve",
     "penalty_sensitivity",
+    "ResultFrame",
+    "load_export_sets",
+    "load_store",
+    "compare",
+    "gate",
+    "render_dashboard",
 ]

@@ -1,0 +1,316 @@
+"""Cross-run statistical comparisons and the regression verdict table.
+
+Given a tidy :class:`~repro.analysis.results.ResultFrame` holding a
+*baseline* and a *current* export set, :func:`compare` tests every
+(experiment, metric) group the two sets share and emits one verdict
+row per group:
+
+* observations are paired on ``(key, seed, program)`` — the same
+  figure leaf produced by the same seeded trace.  Complete pairs go
+  through a **paired bootstrap** of the mean difference (deterministic
+  ``numpy`` RNG, seeded per comparison, so the verdict table is
+  byte-stable under fixed seeds);
+* groups whose pairing is incomplete fall back to a two-sided
+  **Mann-Whitney U** test (``scipy`` when available, a pure-Python
+  normal approximation otherwise);
+* a single shared observation degenerates to a **threshold** test:
+  the simulator is deterministic, so any relative difference beyond
+  ``min_rel_effect`` on a like-for-like cell is a real change;
+* all p-values are **Benjamini-Hochberg** corrected across the whole
+  table, and each row gets a verdict — ``improved`` / ``regressed`` /
+  ``no-change`` (or ``shifted`` for metrics without a known better
+  direction).
+
+:func:`gate` distils the table into the CLI's ``analyze --gate``
+contract: the names of the significantly regressed comparisons, empty
+when the gate passes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.results import ResultFrame
+
+#: verdict-table schema stamp
+VERDICTS_SCHEMA = "repro-verdicts/v1"
+
+#: metrics where a smaller value is the better outcome
+LOWER_IS_BETTER = frozenset(
+    {
+        "bep",
+        "bep_misfetch",
+        "bep_mispredict",
+        "cpi",
+        "pct_misfetched",
+        "pct_mispredicted",
+        "icache_miss_rate",
+        "mean_abs_error",
+        "rbe",
+        "cost",
+        "count",
+        "wall_s",
+    }
+)
+
+#: metrics where a larger value is the better outcome
+HIGHER_IS_BETTER = frozenset(
+    {"accuracy", "rank_corr", "speedup", "speedup_vs_reference"}
+)
+
+
+def metric_direction(metric: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` = which way *metric* improves;
+    ``None`` when no better direction is known (verdicts become
+    ``shifted`` instead of improved/regressed)."""
+    if metric in LOWER_IS_BETTER or metric.endswith(("_penalty", "_rate")):
+        return "lower"
+    if metric in HIGHER_IS_BETTER or metric.endswith("_per_s"):
+        return "higher"
+    return None
+
+
+def _comparison_seed(seed: int, experiment: str, metric: str) -> int:
+    """Deterministic per-comparison RNG seed (stable across runs and
+    across the order comparisons happen to be generated in)."""
+    digest = hashlib.sha256(
+        f"{seed}:{experiment}:{metric}".encode("utf-8")
+    ).hexdigest()
+    return int(digest[:16], 16)
+
+
+def paired_bootstrap_pvalue(
+    diffs: Sequence[float], iterations: int = 2000, seed: int = 0
+) -> float:
+    """Two-sided bootstrap p-value for ``mean(diffs) != 0``.
+
+    Resamples the paired differences with replacement and counts how
+    often the resampled mean lands on each side of zero; the p-value
+    is twice the smaller tail (with the usual +1 continuity guard).
+    Deterministic for a fixed *seed*.
+    """
+    import numpy
+
+    diffs = numpy.asarray(list(diffs), dtype=float)
+    if len(diffs) == 0:
+        return 1.0
+    if numpy.all(diffs == 0.0):
+        return 1.0
+    rng = numpy.random.default_rng(seed)
+    samples = rng.choice(diffs, size=(iterations, len(diffs)), replace=True)
+    means = samples.mean(axis=1)
+    at_or_below = float(numpy.count_nonzero(means <= 0.0) + 1) / (iterations + 1)
+    at_or_above = float(numpy.count_nonzero(means >= 0.0) + 1) / (iterations + 1)
+    return min(1.0, 2.0 * min(at_or_below, at_or_above))
+
+
+def mann_whitney_pvalue(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Two-sided Mann-Whitney U p-value for two independent samples.
+
+    Uses ``scipy.stats.mannwhitneyu`` when scipy is installed and an
+    exact tie-corrected normal approximation otherwise, so the
+    analysis layer works in the numpy-only environment.
+    """
+    first = list(first)
+    second = list(second)
+    if not first or not second:
+        return 1.0
+    try:
+        from scipy.stats import mannwhitneyu
+
+        result = mannwhitneyu(first, second, alternative="two-sided")
+        return float(result.pvalue)
+    except ImportError:  # pragma: no cover - env-dependent fallback
+        pass
+    except ValueError:
+        return 1.0  # scipy rejects all-identical inputs
+    return _mann_whitney_normal(first, second)
+
+
+def _mann_whitney_normal(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Normal-approximation Mann-Whitney (tie-corrected)."""
+    pooled = sorted(
+        [(value, 0) for value in first] + [(value, 1) for value in second]
+    )
+    n1, n2 = len(first), len(second)
+    total = n1 + n2
+    ranks: List[float] = [0.0] * total
+    ties: List[int] = []
+    index = 0
+    while index < total:
+        stop = index
+        while stop + 1 < total and pooled[stop + 1][0] == pooled[index][0]:
+            stop += 1
+        rank = (index + stop) / 2.0 + 1.0
+        for position in range(index, stop + 1):
+            ranks[position] = rank
+        ties.append(stop - index + 1)
+        index = stop + 1
+    rank_sum = sum(
+        rank for rank, (_, sample) in zip(ranks, pooled) if sample == 0
+    )
+    u_first = rank_sum - n1 * (n1 + 1) / 2.0
+    mean = n1 * n2 / 2.0
+    tie_term = sum(t**3 - t for t in ties)
+    variance = (
+        n1 * n2 / 12.0 * ((total + 1) - tie_term / (total * (total - 1)))
+        if total > 1
+        else 0.0
+    )
+    if variance <= 0.0:
+        return 1.0
+    z = (abs(u_first - mean) - 0.5) / math.sqrt(variance)
+    return max(0.0, min(1.0, math.erfc(max(z, 0.0) / math.sqrt(2.0))))
+
+
+def benjamini_hochberg(p_values: Sequence[float]) -> List[float]:
+    """Benjamini-Hochberg q-values (FDR-adjusted, order-preserving)."""
+    count = len(p_values)
+    if count == 0:
+        return []
+    order = sorted(range(count), key=lambda position: p_values[position])
+    q_values = [0.0] * count
+    smallest = 1.0
+    for rank_from_end, position in enumerate(reversed(order)):
+        rank = count - rank_from_end
+        smallest = min(smallest, p_values[position] * count / rank)
+        q_values[position] = smallest
+    return q_values
+
+
+def _observations(rows: List[Dict[str, Any]]) -> Dict[Tuple[Any, ...], float]:
+    """Observation map pairing on ``(key, seed, program)``; duplicate
+    pair keys keep the last value (re-exported runs overwrite)."""
+    return {
+        (row.get("key"), row.get("seed"), row.get("program")): float(row["value"])
+        for row in rows
+    }
+
+
+def compare(
+    frame: ResultFrame,
+    baseline: str,
+    current: str,
+    alpha: float = 0.05,
+    min_rel_effect: float = 0.005,
+    bootstrap_iterations: int = 2000,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Compare the *current* export set against *baseline*.
+
+    Returns the machine-readable verdict table (schema
+    ``repro-verdicts/v1``): one row per (experiment, metric) group the
+    two sets share, with the test used, raw p-value, BH-corrected
+    q-value, relative effect and verdict.  Deterministic for fixed
+    inputs and *seed*.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    comparisons: List[Dict[str, Any]] = []
+    baseline_rows = frame.filter(set=baseline)
+    current_rows = frame.filter(set=current)
+    baseline_groups = baseline_rows.group_by("experiment", "metric")
+    current_groups = current_rows.group_by("experiment", "metric")
+    shared = sorted(
+        set(baseline_groups) & set(current_groups),
+        key=lambda group: (str(group[0]), str(group[1])),
+    )
+    for experiment, metric in shared:
+        base_obs = _observations(baseline_groups[(experiment, metric)])
+        cur_obs = _observations(current_groups[(experiment, metric)])
+        paired_keys = sorted(
+            set(base_obs) & set(cur_obs), key=lambda key: tuple(map(str, key))
+        )
+        base_mean = sum(base_obs.values()) / len(base_obs)
+        cur_mean = sum(cur_obs.values()) / len(cur_obs)
+        if len(paired_keys) >= 2:
+            diffs = [cur_obs[key] - base_obs[key] for key in paired_keys]
+            base_scale = sum(abs(base_obs[key]) for key in paired_keys) / len(
+                paired_keys
+            )
+            diff = sum(diffs) / len(diffs)
+            p_value = paired_bootstrap_pvalue(
+                diffs,
+                iterations=bootstrap_iterations,
+                seed=_comparison_seed(seed, str(experiment), str(metric)),
+            )
+            test = "paired-bootstrap"
+        elif len(paired_keys) == 1:
+            key = paired_keys[0]
+            diff = cur_obs[key] - base_obs[key]
+            base_scale = abs(base_obs[key])
+            rel = diff / base_scale if base_scale else (1.0 if diff else 0.0)
+            p_value = 0.0 if abs(rel) > min_rel_effect else 1.0
+            test = "threshold"
+        else:
+            diff = cur_mean - base_mean
+            base_scale = sum(abs(v) for v in base_obs.values()) / len(base_obs)
+            p_value = mann_whitney_pvalue(
+                sorted(base_obs.values()), sorted(cur_obs.values())
+            )
+            test = "mann-whitney"
+        rel_diff = diff / base_scale if base_scale else (1.0 if diff else 0.0)
+        comparisons.append(
+            {
+                "experiment": experiment,
+                "metric": metric,
+                "test": test,
+                "n_pairs": len(paired_keys),
+                "n_baseline": len(base_obs),
+                "n_current": len(cur_obs),
+                "baseline_mean": base_mean,
+                "current_mean": cur_mean,
+                "diff": diff,
+                "rel_diff": rel_diff,
+                "p_value": p_value,
+                "direction": metric_direction(str(metric)),
+            }
+        )
+    q_values = benjamini_hochberg([row["p_value"] for row in comparisons])
+    counts = {"improved": 0, "regressed": 0, "no-change": 0, "shifted": 0}
+    for row, q_value in zip(comparisons, q_values):
+        row["q_value"] = q_value
+        row["verdict"] = _verdict(row, alpha, min_rel_effect)
+        counts[row["verdict"]] += 1
+    return {
+        "schema": VERDICTS_SCHEMA,
+        "baseline": baseline,
+        "current": current,
+        "alpha": alpha,
+        "min_rel_effect": min_rel_effect,
+        "counts": counts,
+        "comparisons": comparisons,
+    }
+
+
+def _verdict(
+    row: Dict[str, Any], alpha: float, min_rel_effect: float
+) -> str:
+    """Classify one corrected comparison row."""
+    if row["q_value"] >= alpha or abs(row["rel_diff"]) <= min_rel_effect:
+        return "no-change"
+    direction = row["direction"]
+    if direction is None:
+        return "shifted"
+    better = row["diff"] < 0 if direction == "lower" else row["diff"] > 0
+    return "improved" if better else "regressed"
+
+
+def gate(verdicts: Dict[str, Any]) -> List[str]:
+    """The ``analyze --gate`` contract: one line per significant
+    regression in *verdicts* (empty = gate passes)."""
+    return [
+        (
+            f"{row['experiment']}.{row['metric']}: "
+            f"{row['baseline_mean']:.4f} -> {row['current_mean']:.4f} "
+            f"({row['rel_diff']:+.1%}, q={row['q_value']:.4f}, {row['test']})"
+        )
+        for row in verdicts.get("comparisons", [])
+        if row.get("verdict") == "regressed"
+    ]

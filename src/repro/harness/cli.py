@@ -14,6 +14,8 @@ Examples::
     python -m repro.harness serve --store results/store.sqlite --port 8787
     python -m repro.harness store stats --store results/store.sqlite
     python -m repro.harness store gc --store results/store.sqlite --gc-keep 500
+    python -m repro.harness fig5 --seed 7 --out exports/seed7 --formats json
+    python -m repro.harness analyze --exports exports/base exports/head --gate
 
 ``list`` prints every registered experiment with its simulation cell
 count (computed by materialising the plans — no simulation runs) and
@@ -62,6 +64,14 @@ are served without simulation and fresh results are written back;
 ``serve`` starts the simulation service (async HTTP API + sharded job
 queue) against that store; ``store stats`` / ``store gc`` / ``store
 verify`` administer the store itself.
+
+The analysis flags (docs/ANALYSIS.md) drive the cross-run reporting
+layer: ``--seed N`` pins every cell's trace seed so repeated runs
+produce independent seeded export sets, and ``analyze`` loads export
+sets (``--exports DIR...``) and/or the result store, runs the
+statistical baseline-vs-current comparison, renders the regression
+dashboard (``--out`` / ``--format html|md``) and — with a bare
+``--gate`` — exits non-zero on any significant regression.
 """
 
 from __future__ import annotations
@@ -81,7 +91,7 @@ from repro.harness.runner import (
     resolve_worker_count,
     validate_worker_count,
 )
-from repro.harness.spec import run_plans, with_engine
+from repro.harness.spec import run_plans, with_engine, with_seed
 from repro.harness.tables import format_seconds, format_table
 from repro.telemetry.core import Registry, use
 from repro.telemetry.sinks import write_chrome_trace, write_events
@@ -114,14 +124,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "attribute", "list", "bench", "serve", "store"],
+        + ["all", "analyze", "attribute", "list", "bench", "serve", "store"],
         help=(
             "which table/figure to regenerate ('all' runs everything, "
             "'list' shows the registry with per-experiment cell counts, "
             "'bench' runs the standardised benchmarks and writes "
             "BENCH_*.json artifacts, 'attribute' renders per-cause/"
-            "per-site penalty profiles, 'serve' starts the simulation "
-            "service HTTP API, 'store' administers the result store)"
+            "per-site penalty profiles, 'analyze' renders the cross-run "
+            "regression dashboard from export sets, 'serve' starts the "
+            "simulation service HTTP API, 'store' administers the "
+            "result store)"
         ),
     )
     parser.add_argument(
@@ -156,6 +168,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "identical reports, several times the throughput; configs "
             "outside its supported matrix fall back to the reference "
             "engine, recorded in the run manifest)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "pin every simulation cell's trace seed to N (default: each "
+            "profile's calibrated seed) — repeated runs with different "
+            "seeds produce the independent seeded export sets 'analyze' "
+            "compares"
         ),
     )
     parser.add_argument(
@@ -264,10 +288,14 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--gate",
         metavar="BASELINE.json",
+        nargs="?",
+        const="",
         default=None,
         help=(
             "bench: compare the fresh results against this baseline and "
-            "exit non-zero on any throughput regression"
+            "exit non-zero on any throughput regression; analyze: bare "
+            "flag — exit non-zero on any statistically significant "
+            "regression in the verdict table"
         ),
     )
     bench.add_argument(
@@ -330,6 +358,53 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="store verify: delete corrupt entries instead of only "
         "reporting them",
+    )
+    analyze = parser.add_argument_group("analyze options (docs/ANALYSIS.md)")
+    analyze.add_argument(
+        "--exports",
+        nargs="+",
+        metavar="DIR",
+        default=None,
+        help=(
+            "analyze: export-set directories to load (each written by "
+            "'--out DIR --formats json'; the EXPORTS.json manifest "
+            "provides set-level provenance)"
+        ),
+    )
+    analyze.add_argument(
+        "--baseline",
+        metavar="REF",
+        default=None,
+        help=(
+            "analyze: which export set is the comparison baseline — a "
+            "set label or one of the --exports directories (default: "
+            "the first --exports directory)"
+        ),
+    )
+    analyze.add_argument(
+        "--format",
+        choices=("html", "md"),
+        default="html",
+        help="analyze: dashboard format (default: html)",
+    )
+    analyze.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help=(
+            "analyze: significance level for the BH-corrected verdicts "
+            "(default: 0.05)"
+        ),
+    )
+    analyze.add_argument(
+        "--min-effect",
+        type=float,
+        default=0.005,
+        metavar="FRACTION",
+        help=(
+            "analyze: relative differences at or below this fraction "
+            "never gate, however significant (default: 0.005)"
+        ),
     )
     attribute = parser.add_argument_group("attribute options")
     attribute.add_argument(
@@ -408,6 +483,25 @@ def _write(result: ExperimentResult, args: argparse.Namespace) -> None:
         write_result(result, args.out, formats=tuple(args.formats))
 
 
+def _write_export_manifest(names: List[str], args: argparse.Namespace) -> None:
+    """Stamp the ``--out`` directory's ``EXPORTS.json`` set manifest
+    (experiments + seed/engine/git provenance) after a run's exports,
+    making the directory a self-describing ``analyze`` export set."""
+    if not args.out:
+        return
+    from repro.harness.export import write_export_manifest
+
+    path = write_export_manifest(
+        args.out,
+        names,
+        seed=args.seed,
+        engine=args.engine,
+        instructions=args.instructions,
+        programs=args.programs,
+    )
+    print(f"[export manifest -> {path}]")
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     """``bench`` subcommand: run the standardised benchmarks, write
     the ``BENCH_*.json`` artifacts, optionally gate against a baseline."""
@@ -430,6 +524,8 @@ def _run_bench(args: argparse.Namespace) -> int:
                 f"{metric}={metrics[metric]:,.1f}" for metric in sorted(metrics)
             )
             print(f"  {label:<12} {rendered}")
+    history_path = bench_module.append_history(suite, args.bench_dir)
+    print(f"[bench history: {len(suite)} entr(ies) appended -> {history_path}]")
     if args.gate:
         baseline = bench_module.load_bench(args.gate)
         kind = baseline.get("kind", "engine")
@@ -449,6 +545,104 @@ def _run_bench(args: argparse.Namespace) -> int:
                 print(f"  REGRESSION {violation}")
             return 1
         print(f"gate passed against {args.gate} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def _analysis_set_for_directory(frame, directory: str) -> Optional[str]:
+    """The set label *directory*'s rows were loaded under (``None``
+    when the directory contributed no rows to *frame*)."""
+    target = os.path.normpath(directory)
+    for row in frame.rows:
+        source = row.get("source") or ""
+        if source and os.path.normpath(os.path.dirname(source)) == target:
+            return row["set"]
+    return None
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    """``analyze`` subcommand: the cross-run regression dashboard.
+
+    Loads the requested export sets (and/or the result store) into one
+    tidy :class:`~repro.analysis.results.ResultFrame`, runs the
+    baseline-vs-current statistical comparison, renders the dashboard
+    into ``--out`` and — with a bare ``--gate`` — exits non-zero when
+    any metric's verdict is *regressed* (docs/ANALYSIS.md)."""
+    from repro.analysis.rendering import render_dashboard
+    from repro.analysis.results import (
+        find_bench_history,
+        load_bench_history,
+        load_export_sets,
+        load_store,
+    )
+    from repro.analysis.stat_tests import compare
+    from repro.analysis.stat_tests import gate as verdict_gate
+
+    directories = list(args.exports or [])
+    frame = load_export_sets(directories)
+    if args.store is not None:
+        if not os.path.exists(args.store):
+            print(f"analyze: store {args.store} does not exist")
+            return 2
+        frame.extend(load_store(args.store))
+    # sets in load order: --exports order, then the store label
+    ordered: List[str] = []
+    for row in frame.rows:
+        if row["set"] not in ordered:
+            ordered.append(row["set"])
+    if len(ordered) < 2:
+        print(
+            f"analyze: need at least two result sets to compare, got "
+            f"{len(ordered)} ({', '.join(ordered) or 'none'}) — pass two "
+            f"--exports directories (each written with --formats json)"
+        )
+        return 2
+    if args.baseline is None:
+        baseline = ordered[0]
+    elif args.baseline in ordered:
+        baseline = args.baseline
+    else:
+        resolved = _analysis_set_for_directory(frame, args.baseline)
+        if resolved is None:
+            print(
+                f"analyze: --baseline {args.baseline!r} matches no set "
+                f"label or --exports directory (sets: {', '.join(ordered)})"
+            )
+            return 2
+        baseline = resolved
+    current = [label for label in ordered if label != baseline][-1]
+    verdicts = compare(
+        frame,
+        baseline,
+        current,
+        alpha=args.alpha,
+        min_rel_effect=args.min_effect,
+    )
+    history_path = find_bench_history(directories)
+    history = load_bench_history(history_path) if history_path else None
+    out_dir = args.out or "analysis-report"
+    written = render_dashboard(
+        frame,
+        verdicts,
+        out_dir,
+        fmt=args.format,
+        bench_history=history,
+    )
+    counts = verdicts["counts"]
+    print(
+        f"analyze: {len(frame)} rows across {len(ordered)} set(s); "
+        f"{baseline!r} vs {current!r}: "
+        + ", ".join(f"{counts[key]} {key}" for key in sorted(counts))
+    )
+    for path in written:
+        print(f"  -> {path}")
+    if args.gate is not None:
+        violations = verdict_gate(verdicts)
+        if violations:
+            print(f"gate FAILED (alpha {args.alpha:g}):")
+            for violation in violations:
+                print(f"  REGRESSION {violation}")
+            return 1
+        print(f"gate passed (alpha {args.alpha:g})")
     return 0
 
 
@@ -565,7 +759,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.service.api import serve
     from repro.service.scheduler import JobScheduler
     from repro.service.store import DEFAULT_STORE_NAME, ResultStore
+    from repro.telemetry.core import get_registry, set_registry
 
+    if not get_registry().enabled:
+        # /metrics scrapes the active registry; without an enabled one
+        # every counter would read as a permanent zero
+        set_registry(Registry(enabled=True))
     store = ResultStore(args.store or DEFAULT_STORE_NAME)
     backend = "serial" if args.jobs == 1 else "process"
     jobs = None if args.jobs < 1 else args.jobs
@@ -623,13 +822,17 @@ def _run_store(args: argparse.Namespace) -> int:
             )
             return 0
         outcome = store.verify(fix=args.fix)
+        status = "OK" if not outcome["corrupt"] else "FAILED"
         print(
-            f"store verify: {outcome['checked']} entr(ies) checked, "
-            f"{len(outcome['corrupt'])} corrupt, "
+            f"store verify {status}: {outcome['checked']} entr(ies) "
+            f"checked, {len(outcome['corrupt'])} corrupt, "
             f"{outcome['removed']} removed"
         )
         for entry in outcome["corrupt"]:
-            print(f"  CORRUPT cell={entry['cell_key']}")
+            print(
+                f"  CORRUPT cell={entry['cell_key']} "
+                f"reason={entry.get('reason', 'checksum-mismatch')}"
+            )
         return 0 if outcome["ok"] or args.fix else 1
     finally:
         store.close()
@@ -672,6 +875,16 @@ def _validate_args(
         parser.error(
             f"--cell-timeout must be positive, got {args.cell_timeout}"
         )
+    if args.experiment == "bench" and args.gate == "":
+        parser.error("bench --gate requires a BASELINE.json path")
+    if args.experiment == "analyze":
+        if args.gate:
+            parser.error(
+                "analyze --gate is a bare flag (the statistical verdicts "
+                "are the baseline; use --baseline to pick the reference set)"
+            )
+        if not args.exports and args.store is None:
+            parser.error("analyze requires --exports DIR... and/or --store")
     if args.experiment == "store":
         if args.subaction is None:
             args.subaction = "stats"
@@ -720,6 +933,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _list_experiments(args)
     if args.experiment == "bench":
         return _run_bench(args)
+    if args.experiment == "analyze":
+        return _run_analyze(args)
     if args.experiment == "attribute":
         return _run_attribute(args)
     if args.experiment == "serve":
@@ -734,6 +949,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         getattr(args, "requested_jobs", args.jobs) == 1
         and policy is None
         and args.engine == "reference"
+        and args.seed is None
         and args.store is None
     ):
         # serial path: run each experiment's own plan in-process,
@@ -747,6 +963,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"[{name}: {elapsed:.1f}s]")
             print()
             _write(result, args)
+        _write_export_manifest(names, args)
         return 0
     # pooled path: collect every requested experiment's cells into one
     # deduplicated plan and execute it — on the process backend for
@@ -756,11 +973,14 @@ def _dispatch(args: argparse.Namespace) -> int:
     # content-addressed result store and writes fresh ones back
     started = time.time()
     plans = with_engine(
-        [
-            SPECS[name].plan(**_experiment_kwargs(SPECS[name].build, args))
-            for name in names
-            if name in SPECS
-        ],
+        with_seed(
+            [
+                SPECS[name].plan(**_experiment_kwargs(SPECS[name].build, args))
+                for name in names
+                if name in SPECS
+            ],
+            args.seed,
+        ),
         args.engine,
     )
     backend = "serial" if args.jobs == 1 else "process"
@@ -790,6 +1010,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(result.text)
             print()
             _write(result, args)
+    _write_export_manifest(names, args)
     print(
         f"[{len(results)} experiments in {format_seconds(elapsed)}: "
         f"{plan.requested} cells requested, {plan.unique} executed "

@@ -18,8 +18,9 @@ from __future__ import annotations
 import csv
 import json
 import os
+import time
 from dataclasses import asdict, is_dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.harness.checkpoint import (
     FAILURES_NAME,
@@ -27,6 +28,12 @@ from repro.harness.checkpoint import (
     write_failure_manifest,
 )
 from repro.harness.experiments import ExperimentResult
+
+#: export-set manifest schema stamp (read by repro.analysis.results)
+EXPORTS_SCHEMA = "repro-exports/v1"
+
+#: export-set manifest filename, written next to the result files
+EXPORTS_NAME = "EXPORTS.json"
 
 
 def _jsonable(value):
@@ -130,6 +137,64 @@ def write_result(
                 writer.writerow(row)
         written.append(path)
     return written
+
+
+def write_export_manifest(
+    directory: str,
+    names: Sequence[str],
+    seed: Optional[int] = None,
+    engine: str = "reference",
+    instructions: Optional[int] = None,
+    programs: Optional[Sequence[str]] = None,
+    label: Optional[str] = None,
+) -> str:
+    """Write (or merge into) the directory's ``EXPORTS.json`` manifest.
+
+    The manifest makes an ``--out`` directory a self-describing
+    **export set** for ``harness analyze`` (docs/ANALYSIS.md): it
+    records which experiments were exported and the set-level
+    provenance — trace seed, engine, instruction budget, git SHA —
+    that the tidy loader stamps onto every row.  Successive CLI runs
+    into the same directory merge their experiment lists, so a set can
+    be accumulated one experiment at a time; provenance fields are
+    overwritten by the latest run (one set should be produced by one
+    consistent configuration).
+    """
+    from repro.telemetry.manifest import git_sha
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, EXPORTS_NAME)
+    manifest: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict) and existing.get("schema") == EXPORTS_SCHEMA:
+                manifest = existing
+        except (OSError, json.JSONDecodeError):
+            manifest = {}
+    experiments = sorted(set(manifest.get("experiments", [])) | set(names))
+    manifest.update(
+        {
+            "schema": EXPORTS_SCHEMA,
+            "label": label
+            or manifest.get("label")
+            or os.path.basename(os.path.normpath(directory)),
+            "experiments": experiments,
+            "seed": seed,
+            "engine": engine,
+            "instructions": instructions,
+            "programs": list(programs) if programs is not None else None,
+            "git_sha": git_sha(),
+            "written_s": time.time(),
+        }
+    )
+    temp = f"{path}.tmp.{os.getpid()}"
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp, path)
+    return path
 
 
 def write_failures(directory: str, failures: Iterable[CellFailure]) -> str:

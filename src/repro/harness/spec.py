@@ -168,6 +168,50 @@ def _engine_transparent(
     return wrapper
 
 
+def with_seed(
+    plans: Sequence[ExperimentPlan], seed: Optional[int]
+) -> List[ExperimentPlan]:
+    """Copies of *plans* with every cell pinned to trace *seed*.
+
+    The seed-selection seam mirroring :func:`with_engine`: plan
+    builders declare cells with the default seed (``None`` = the
+    program profile's calibrated seed) and the CLI rewrites the
+    materialised cells when ``--seed N`` is requested — producing an
+    independent seeded replication of the same experiment for
+    cross-seed statistics (``harness analyze``, docs/ANALYSIS.md).
+    ``finish`` renderers close over the original requests, so each
+    rewritten plan's renderer receives the reports aliased back under
+    the default-seed keys too.
+    """
+    if seed is None:
+        return list(plans)
+    return [
+        replace(
+            plan,
+            cells=tuple(replace(cell, seed=seed) for cell in plan.cells),
+            finish=_seed_transparent(plan.finish, seed),
+        )
+        for plan in plans
+    ]
+
+
+def _seed_transparent(
+    finish: Callable[[ReportMap], ExperimentResult], seed: int
+) -> Callable[[ReportMap], ExperimentResult]:
+    """Wrap a renderer so seed-rewritten reports are also reachable
+    under the default-seed request keys the renderer captured."""
+
+    def wrapper(reports: ReportMap) -> ExperimentResult:
+        """Alias seed-rewritten reports under default-seed keys."""
+        aliased: Dict[RunRequest, SimulationReport] = dict(reports)
+        for request, report in reports.items():
+            if request.seed == seed:
+                aliased.setdefault(replace(request, seed=None), report)
+        return finish(aliased)
+
+    return wrapper
+
+
 def run_plans(
     plans: Sequence[ExperimentPlan],
     backend: str = "serial",

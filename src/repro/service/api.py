@@ -11,6 +11,9 @@ Routes (all JSON; ``Connection: close`` per request):
 
 =======  ==============================  =====================================
 GET      /healthz                        liveness + job-state totals
+GET      /metrics                        Prometheus text exposition of the
+                                         active telemetry registry plus
+                                         scheduler/store counters
 GET      /api/v1/experiments             registered experiment names
 GET      /api/v1/store/stats             result-store statistics
 POST     /api/v1/jobs                    submit a job spec → 202 + status
@@ -122,6 +125,23 @@ class ServiceServer:
         writer.write(head + body)
         await writer.drain()
 
+    async def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        encoded = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(encoded)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + encoded)
+        await writer.drain()
+
     async def _send_error(
         self, writer: asyncio.StreamWriter, status: int, message: str
     ) -> None:
@@ -180,6 +200,22 @@ class ServiceServer:
                     "ok": True,
                     "jobs": self.scheduler.counts(),
                 },
+            )
+            return
+        if path == "/metrics" and method == "GET":
+            from repro.telemetry.core import get_registry
+            from repro.telemetry.exposition import render_prometheus
+
+            text = render_prometheus(
+                get_registry(),
+                job_counts=self.scheduler.counts(),
+                store_stats=self.scheduler.store.stats(),
+            )
+            await self._send_text(
+                writer,
+                200,
+                text,
+                content_type="text/plain; version=0.0.4; charset=utf-8",
             )
             return
         if path == "/api/v1/experiments" and method == "GET":

@@ -271,20 +271,41 @@ class ResultStore:
         return {"removed": removed, "kept": kept}
 
     def verify(self, fix: bool = False) -> Dict[str, Any]:
-        """Re-checksum every payload; returns the audit outcome.
+        """Audit every payload; returns the outcome.
 
-        The result names every corrupt ``(cell_key, trace_key)`` pair;
-        with *fix* the corrupt rows are deleted (they would be evicted
-        lazily on first read anyway — ``verify --fix`` just does it
-        eagerly and reclaims the space)."""
+        Three failure modes are detected, each named in the result's
+        ``corrupt`` list with a ``reason``: a **checksum-mismatch**
+        (the payload no longer hashes to its recorded SHA-256), a
+        **missing-payload** (the payload text is empty — the row holds
+        nothing to deserialise, even if someone re-stamped the
+        checksum to match), and an **unparseable** payload (checksum
+        intact but the text is not the JSON object a report round-trip
+        needs).  With *fix* the flagged rows are deleted (checksum
+        mismatches would be evicted lazily on first read anyway —
+        ``verify --fix`` just does it eagerly and reclaims the space;
+        the other two modes are only caught here)."""
         corrupt: List[Dict[str, str]] = []
         with self._lock:
             rows = self._conn.execute(
                 "SELECT cell_key, trace_key, payload, payload_sha FROM results"
             ).fetchall()
             for key, trace, payload_text, recorded_sha in rows:
+                reason = None
                 if payload_digest(payload_text) != recorded_sha:
-                    corrupt.append({"cell_key": key, "trace_key": trace})
+                    reason = "checksum-mismatch"
+                elif not payload_text or not payload_text.strip():
+                    reason = "missing-payload"
+                else:
+                    try:
+                        parsed = json.loads(payload_text)
+                    except json.JSONDecodeError:
+                        parsed = None
+                    if not isinstance(parsed, dict) or "label" not in parsed:
+                        reason = "unparseable"
+                if reason is not None:
+                    corrupt.append(
+                        {"cell_key": key, "trace_key": trace, "reason": reason}
+                    )
             if fix and corrupt:
                 self._conn.executemany(
                     "DELETE FROM results WHERE cell_key = ? AND trace_key = ?",

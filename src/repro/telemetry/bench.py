@@ -43,6 +43,12 @@ BENCH_SCHEMA = "repro-bench/v1"
 ENGINE_BENCH_FILE = "BENCH_engine.json"
 SWEEP_BENCH_FILE = "BENCH_sweep.json"
 
+#: append-only perf-trajectory file (one NDJSON line per bench run)
+BENCH_HISTORY_FILE = "BENCH_history.ndjson"
+
+#: trajectory-line schema stamp
+BENCH_HISTORY_SCHEMA = "repro-bench-history/v1"
+
 #: one representative configuration per front-end family
 ENGINE_FRONTENDS: Tuple[Tuple[str, Dict[str, Any]], ...] = (
     ("btb", {"entries": 128}),
@@ -275,6 +281,37 @@ def write_bench(payload: Dict[str, Any], path: str) -> str:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     os.replace(temp, path)
+    return path
+
+
+def append_history(
+    suite: Dict[str, Dict[str, Any]], directory: str
+) -> str:
+    """Append every payload of *suite* to the directory's
+    ``BENCH_history.ndjson`` trajectory file; returns the path.
+
+    Each line is a self-contained, schema-versioned record — kind,
+    git SHA, timestamp and the payload's result metrics — so the
+    analysis dashboard (docs/ANALYSIS.md) can plot throughput over
+    revisions instead of only comparing against the latest baseline
+    pair.  Lines are single flushed ``write()`` calls: a crash can at
+    worst tear the final line, which the loader skips.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, BENCH_HISTORY_FILE)
+    with open(path, "a", encoding="utf-8") as handle:
+        for kind in sorted(suite):
+            payload = suite[kind]
+            manifest = payload.get("manifest", {})
+            line = {
+                "schema": BENCH_HISTORY_SCHEMA,
+                "kind": payload.get("kind", kind),
+                "t_s": time.time(),
+                "git_sha": manifest.get("git_sha"),
+                "results": payload.get("results", {}),
+            }
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+            handle.flush()
     return path
 
 

@@ -32,7 +32,15 @@ class TestReadme:
         text = self.readme()
         for name in re.findall(r"python -m repro\.harness (\S+)", text):
             name = name.strip("`")
-            if name in ("all", "list", "bench", "attribute", "serve", "store"):
+            if name in (
+                "all",
+                "analyze",
+                "list",
+                "bench",
+                "attribute",
+                "serve",
+                "store",
+            ):
                 continue
             assert name in EXPERIMENTS, name
 

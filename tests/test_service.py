@@ -335,6 +335,45 @@ class TestHTTPAPI:
         tail = _stream(f"{service}/api/v1/jobs/{job_id}/events?from=2")
         assert tail and tail[0]["seq"] == 2
 
+    def test_disconnect_and_resume_delivers_exactly_once(self, service):
+        """A consumer that drops mid-stream and reconnects with
+        ``?from=<last seen + 1>`` receives every remaining event exactly
+        once, terminal event included — the chunked-NDJSON resume
+        contract clients rely on (docs/SERVICE.md)."""
+        requests = [
+            _request(entries=entries) for entries in (16, 32, 64, 128)
+        ]
+        status, submitted = _post(
+            f"{service}/api/v1/jobs", _cells_payload(requests)
+        )
+        job_id = submitted["job_id"]
+        url = f"{service}/api/v1/jobs/{job_id}/events"
+        before_drop = []
+        response = urllib.request.urlopen(url)
+        try:
+            for line in response:
+                if not line.strip():
+                    continue
+                before_drop.append(json.loads(line))
+                if len(before_drop) == 2:
+                    break  # simulate the client dying mid-stream
+        finally:
+            response.close()
+        assert [event["seq"] for event in before_drop] == [0, 1]
+        resumed = _stream(f"{url}?from={before_drop[-1]['seq'] + 1}")
+        combined = before_drop + resumed
+        # exactly once: the seq numbers are gapless, duplicate-free,
+        # and end with the terminal event
+        assert [event["seq"] for event in combined] == list(
+            range(len(combined))
+        )
+        assert combined[-1]["event"] == "job-completed"
+        assert [
+            event["event"] for event in combined
+        ].count("cell") == len(requests)
+        # the stitched stream is identical to one uninterrupted replay
+        assert _stream(url) == combined
+
     def test_job_listing_and_status(self, service):
         status, body = _get(f"{service}/api/v1/jobs")
         assert body["jobs"], "previous tests should have left jobs behind"
@@ -386,6 +425,58 @@ class TestHTTPAPI:
         finally:
             gate.set()
         _stream(f"{service}/api/v1/jobs/{submitted['job_id']}/events")
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_exposition_over_http(self, tmp_path):
+        """``GET /metrics`` serves the live registry in Prometheus text
+        exposition: after running the same job twice, the store
+        hit/miss and scheduler job counters must be present, non-zero
+        where expected, and every sample line format-valid."""
+        import re
+
+        from repro.service.api import ServiceServer
+        from repro.telemetry.core import Registry, get_registry, set_registry
+
+        previous = get_registry()
+        set_registry(Registry(enabled=True))
+        store = ResultStore(str(tmp_path / "store.sqlite"))
+        scheduler = JobScheduler(store, concurrency=1)
+        server = ServiceServer(scheduler)
+        url = server.start_background()
+        try:
+            payload = _cells_payload([_request(entries=16)])
+            for _ in range(2):  # second run is served from the store
+                _, submitted = _post(f"{url}/api/v1/jobs", payload)
+                _stream(f"{url}/api/v1/jobs/{submitted['job_id']}/events")
+            with urllib.request.urlopen(f"{url}/metrics") as response:
+                assert response.status == 200
+                content_type = response.headers["Content-Type"]
+                text = response.read().decode("utf-8")
+        finally:
+            server.stop_background()
+            store.close()
+            set_registry(previous)
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert text.endswith("\n")
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+-]+$"
+        )
+        values = {}
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            assert sample.match(line), line
+            name, _, value = line.partition(" ")
+            values[name] = float(value)
+        assert values["repro_store_hits_total"] >= 1
+        assert values["repro_store_misses_total"] >= 1
+        assert values["repro_service_jobs_submitted_total"] == 2
+        assert values["repro_service_jobs_completed_total"] == 2
+        assert values['repro_service_jobs{state="completed"}'] == 2
+        assert values["repro_store_entries"] == 1
 
 
 class TestConcurrentSubmitters:

@@ -140,6 +140,44 @@ class TestIntegrity:
         assert store.verify()["ok"]
         assert store.get(good) is not None
 
+    def test_verify_names_each_corruption_reason(self, store):
+        """The audit distinguishes checksum mismatches from empty and
+        unparseable payloads — the latter two with a checksum that was
+        re-stamped to match, so only ``verify`` can catch them."""
+        from repro.harness.checkpoint import payload_digest
+
+        mismatch, missing, garbled = (
+            _request(entries=16),
+            _request(entries=32),
+            _request(entries=64),
+        )
+        for request in (mismatch, missing, garbled):
+            store.put(request, run_request(request))
+        with store._lock:
+            store._conn.execute(
+                "UPDATE results SET payload = '{}' WHERE cell_key = ?",
+                (cell_key(mismatch),),
+            )
+            for request, payload in ((missing, ""), (garbled, "not json")):
+                store._conn.execute(
+                    "UPDATE results SET payload = ?, payload_sha = ? "
+                    "WHERE cell_key = ?",
+                    (payload, payload_digest(payload), cell_key(request)),
+                )
+            store._conn.commit()
+        audit = store.verify()
+        assert audit["checked"] == 3 and not audit["ok"]
+        reasons = {
+            entry["cell_key"]: entry["reason"] for entry in audit["corrupt"]
+        }
+        assert reasons == {
+            cell_key(mismatch): "checksum-mismatch",
+            cell_key(missing): "missing-payload",
+            cell_key(garbled): "unparseable",
+        }
+        assert store.verify(fix=True)["removed"] == 3
+        assert store.verify()["ok"]
+
     def test_gc_by_age_and_count(self, store):
         requests = [_request(entries=entries) for entries in (16, 32, 64, 128)]
         for request in requests:
@@ -257,8 +295,13 @@ class TestStoreCLI:
         conn.commit()
         conn.close()
         assert cli_main(["store", "verify", "--store", path]) == 1
-        assert "1 corrupt" in capsys.readouterr().out
+        printed = capsys.readouterr().out
+        assert "store verify FAILED" in printed
+        assert "1 corrupt" in printed
+        assert "reason=checksum-mismatch" in printed
         assert cli_main(["store", "verify", "--store", path, "--fix"]) == 0
+        assert cli_main(["store", "verify", "--store", path]) == 0
+        assert "store verify OK" in capsys.readouterr().out
 
     def test_missing_store_is_a_clean_error(self, tmp_path, capsys):
         path = str(tmp_path / "absent.sqlite")
