@@ -14,6 +14,8 @@ Examples::
     python -m repro.harness serve --store results/store.sqlite --port 8787
     python -m repro.harness store stats --store results/store.sqlite
     python -m repro.harness store gc --store results/store.sqlite --gc-keep 500
+    python -m repro.harness jobs list --store results/store.sqlite
+    python -m repro.harness jobs cancel job-abc123 --store results/store.sqlite
     python -m repro.harness fig5 --seed 7 --out exports/seed7 --formats json
     python -m repro.harness analyze --exports exports/base exports/head --gate
 
@@ -62,8 +64,13 @@ The service flags (docs/SERVICE.md) wire the harness to the
 run store-aware — cells already in the content-addressed result store
 are served without simulation and fresh results are written back;
 ``serve`` starts the simulation service (async HTTP API + sharded job
-queue) against that store; ``store stats`` / ``store gc`` / ``store
-verify`` administer the store itself.
+queue, durable job registry, lease-based multi-replica recovery)
+against that store — hardened via ``--keys`` / ``--rate`` /
+``--max-queue`` / ``--max-inflight-jobs`` / ``--max-inflight-cells``
+/ ``--read-timeout`` / ``--lease``; ``store stats`` / ``store gc`` /
+``store verify`` administer the store itself, and ``jobs list`` /
+``jobs cancel <id>`` administer the durable job registry (cancel
+works offline — the owning replica polls the flag).
 
 The analysis flags (docs/ANALYSIS.md) drive the cross-run reporting
 layer: ``--seed N`` pins every cell's trace seed so repeated runs
@@ -124,7 +131,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "analyze", "attribute", "list", "bench", "serve", "store"],
+        + [
+            "all",
+            "analyze",
+            "attribute",
+            "jobs",
+            "list",
+            "bench",
+            "serve",
+            "store",
+        ],
         help=(
             "which table/figure to regenerate ('all' runs everything, "
             "'list' shows the registry with per-experiment cell counts, "
@@ -133,7 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "per-site penalty profiles, 'analyze' renders the cross-run "
             "regression dashboard from export sets, 'serve' starts the "
             "simulation service HTTP API, 'store' administers the "
-            "result store)"
+            "result store, 'jobs' administers the durable job registry)"
         ),
     )
     parser.add_argument(
@@ -141,9 +157,15 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "'store' only: stats (default), gc, or verify — see the "
-            "store options group"
+            "'store': stats (default), gc, or verify — see the store "
+            "options group; 'jobs': list (default) or cancel"
         ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="'jobs cancel' only: the job id to cancel",
     )
     parser.add_argument(
         "--programs",
@@ -335,6 +357,69 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="serve: scheduler threads running jobs in parallel "
         "(default: 2)",
+    )
+    service.add_argument(
+        "--keys",
+        metavar="KEYFILE",
+        default=None,
+        help="serve: require 'Authorization: Bearer <key>' on every "
+        "/api/v1 request, validated against this repro-keys/v1 JSON "
+        "keyfile (docs/SERVICE.md)",
+    )
+    service.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve: shed submissions with 429 + Retry-After once N "
+        "jobs are queued (default: unbounded)",
+    )
+    service.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="serve: default per-client token-bucket refill, "
+        "requests/second (default: unlimited)",
+    )
+    service.add_argument(
+        "--burst",
+        type=int,
+        default=10,
+        metavar="N",
+        help="serve: token-bucket burst capacity (default: 10)",
+    )
+    service.add_argument(
+        "--max-inflight-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve: per-client cap on jobs in flight (default: "
+        "unlimited)",
+    )
+    service.add_argument(
+        "--max-inflight-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve: per-client cap on cells in flight (default: "
+        "unlimited)",
+    )
+    service.add_argument(
+        "--read-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve: per-request read deadline; slow requests get 408 "
+        "(default: none)",
+    )
+    service.add_argument(
+        "--lease",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="serve: job-lease duration — a replica silent this long "
+        "forfeits its jobs to peers (default: 15)",
     )
     store_group = parser.add_argument_group("store options")
     store_group.add_argument(
@@ -753,9 +838,18 @@ def _run_attribute(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     """``serve`` subcommand: start the simulation service HTTP API.
 
-    Builds the result store, a :class:`~repro.service.scheduler.
-    JobScheduler` honouring the shared ``--jobs`` / resilience flags,
-    and blocks serving HTTP until interrupted (docs/SERVICE.md)."""
+    Builds the result store (plus its durable job registry), a
+    :class:`~repro.service.scheduler.JobScheduler` honouring the
+    shared ``--jobs`` / resilience flags, and the admission layer when
+    any of ``--keys`` / ``--rate`` / ``--max-queue`` /
+    ``--max-inflight-*`` is given, then blocks serving HTTP until
+    interrupted (docs/SERVICE.md).  SIGTERM drains gracefully —
+    running jobs return to the registry for any replica to finish."""
+    from repro.service.admission import (
+        AdmissionController,
+        ClientQuota,
+        Keyring,
+    )
     from repro.service.api import serve
     from repro.service.scheduler import JobScheduler
     from repro.service.store import DEFAULT_STORE_NAME, ResultStore
@@ -768,19 +862,106 @@ def _run_serve(args: argparse.Namespace) -> int:
     store = ResultStore(args.store or DEFAULT_STORE_NAME)
     backend = "serial" if args.jobs == 1 else "process"
     jobs = None if args.jobs < 1 else args.jobs
+    admission = None
+    gated = (
+        args.keys is not None
+        or args.max_queue is not None
+        or args.rate is not None
+        or args.max_inflight_jobs is not None
+        or args.max_inflight_cells is not None
+    )
+    if gated:
+        keyring = None
+        if args.keys is not None:
+            try:
+                keyring = Keyring.load(args.keys)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"serve: cannot load --keys {args.keys}: {exc}")
+                return 2
+        admission = AdmissionController(
+            keyring=keyring,
+            default_quota=ClientQuota(
+                rate=args.rate,
+                burst=args.burst,
+                max_jobs=args.max_inflight_jobs,
+                max_cells=args.max_inflight_cells,
+            ),
+            max_queue=args.max_queue,
+        )
     scheduler = JobScheduler(
         store,
         backend=backend,
         jobs=jobs,
         concurrency=max(1, args.concurrency),
         policy=_build_policy(args),
+        admission=admission,
+        lease_s=args.lease,
     )
     print(f"result store: {store.path}", flush=True)
+    print(f"replica: {scheduler.owner}", flush=True)
     try:
-        serve(scheduler, host=args.host, port=args.port)
+        serve(
+            scheduler,
+            host=args.host,
+            port=args.port,
+            read_timeout=args.read_timeout,
+        )
     finally:
         store.close()
     return 0
+
+
+def _run_jobs(args: argparse.Namespace) -> int:
+    """``jobs`` subcommand: administer the durable job registry.
+
+    ``list`` tabulates every registry row (any replica's — the
+    registry lives in the shared store file); ``cancel <job-id>`` sets
+    the durable cancel flag, which the owning replica's scheduler
+    polls between cells.  Both work against the store file directly,
+    with no running service required."""
+    from repro.service.registry import JobRegistry
+    from repro.service.store import DEFAULT_STORE_NAME
+
+    path = args.store or DEFAULT_STORE_NAME
+    if not os.path.exists(path):
+        print(f"store {path} does not exist")
+        return 1
+    registry = JobRegistry(path)
+    try:
+        if args.subaction == "cancel":
+            if registry.request_cancel(args.target):
+                print(f"cancel requested for {args.target}")
+                return 0
+            row = registry.get(args.target)
+            if row is None:
+                print(f"unknown job {args.target!r}")
+            else:
+                print(f"job {args.target} is already {row['state']}")
+            return 1
+        rows = [
+            (
+                row["job_id"],
+                row["state"] + ("*" if row["cancel_requested"] else ""),
+                row["name"],
+                str(row["cells"]),
+                str(row["events"]),
+                row["owner"] or "-",
+                row["client"] or "-",
+            )
+            for row in registry.list_jobs()
+        ]
+        if not rows:
+            print("no jobs in the registry")
+            return 0
+        print(
+            format_table(
+                ["job", "state", "name", "cells", "events", "owner", "client"],
+                rows,
+            )
+        )
+        return 0
+    finally:
+        registry.close()
 
 
 def _run_store(args: argparse.Namespace) -> int:
@@ -893,10 +1074,25 @@ def _validate_args(
                 f"store action must be stats, gc or verify, "
                 f"got {args.subaction!r}"
             )
+    elif args.experiment == "jobs":
+        if args.subaction is None:
+            args.subaction = "list"
+        if args.subaction not in ("list", "cancel"):
+            parser.error(
+                f"jobs action must be list or cancel, got {args.subaction!r}"
+            )
+        if args.subaction == "cancel" and args.target is None:
+            parser.error("jobs cancel requires a job id")
+        if args.subaction == "list" and args.target is not None:
+            parser.error("jobs list takes no job id")
     elif args.subaction is not None:
         parser.error(
             f"{args.experiment!r} takes no sub-action "
             f"(got {args.subaction!r})"
+        )
+    if args.experiment not in ("jobs",) and args.target is not None:
+        parser.error(
+            f"{args.experiment!r} takes no target (got {args.target!r})"
         )
     # remember what was asked for: a --jobs 2 clamped to 1 on a 1-CPU
     # box must still take the pooled (deduplicating) path
@@ -941,6 +1137,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_serve(args)
     if args.experiment == "store":
         return _run_store(args)
+    if args.experiment == "jobs":
+        return _run_jobs(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.out:
         os.makedirs(args.out, exist_ok=True)

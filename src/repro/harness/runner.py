@@ -689,6 +689,7 @@ def _execute_serial(
     policy: Optional[ExecutionPolicy] = None,
     manifest_extra: Optional[Dict[str, Any]] = None,
     observer: Optional[PlanObserver] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> _ExecuteResult:
     """In-process backend: cells grouped by (trace, signature), each
     group sharing one batch context; insertion order within groups.
@@ -696,12 +697,22 @@ def _execute_serial(
     Without a policy this is the historical strict loop — the first
     failure raises (unwrapped) and aborts.  With one, cells retry with
     backoff under the per-cell deadline and quarantine instead of
-    aborting, journalling completions as they land."""
+    aborting, journalling completions as they land.
+
+    A *cancel* predicate is polled between cells: once it returns
+    true, no further cell starts and the partial results are returned
+    — cells neither completed nor quarantined are simply absent from
+    both mappings (the cooperative-cancellation contract the service
+    scheduler relies on)."""
     if policy is None:
         results: Dict[RunRequest, SimulationReport] = {}
         for group in _context_groups(requests):
+            if cancel is not None and cancel():
+                return results, {}
             context = _shared_batch_context(group)
             for request in group:
+                if cancel is not None and cancel():
+                    return results, {}
                 results[request] = run_request(
                     request,
                     backend="serial",
@@ -711,10 +722,16 @@ def _execute_serial(
                 notify(observer, "completed", request, results[request])
         return results, {}
     supervisor = _PlanSupervisor(requests, policy, observer=observer)
+    cancelled = False
     try:
         for group in _context_groups(supervisor.pending):
+            if cancelled:
+                break
             context = _shared_batch_context(group)
             for request in group:
+                if cancel is not None and cancel():
+                    cancelled = True
+                    break
                 while True:
                     try:
                         with _deadline(policy.cell_timeout):
@@ -896,9 +913,16 @@ def _execute_process(
     jobs: Optional[int] = None,
     policy: Optional[ExecutionPolicy] = None,
     observer: Optional[PlanObserver] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> _ExecuteResult:
     """Multiprocessing backend: same-trace batches fan out to a
     supervised ``ProcessPoolExecutor``.
+
+    A *cancel* predicate is polled each scheduling round: once true,
+    queued batches are cancelled, pending retries dropped, and only
+    outcomes already delivered by the pool are harvested — cancelled
+    cells are absent from both result mappings (batch granularity:
+    batches already on a worker run to completion).
 
     Worker telemetry snapshots are merged into the parent's active
     registry, so counter totals and per-cell spans are equivalent to a
@@ -1005,6 +1029,19 @@ def _execute_process(
             return _make_executor(workers, registry.enabled)
 
         while in_flight or retry_heap:
+            if cancel is not None and cancel():
+                # drop queued work, drain batches already on a worker
+                del retry_heap[:]
+                for future in [f for f in in_flight if f.cancel()]:
+                    in_flight.pop(future)
+                for future in list(in_flight):
+                    in_flight.pop(future)
+                    try:
+                        outcomes, snapshot = future.result()
+                    except Exception:  # worker died mid-cancel: drop it
+                        continue
+                    _handle_outcomes(outcomes, snapshot)
+                break
             now = time.monotonic()
             due: List[RunRequest] = []
             while retry_heap and retry_heap[0][0] <= now:
@@ -1130,6 +1167,7 @@ class RunPlan:
         policy: Optional[ExecutionPolicy] = None,
         store: Optional[Any] = None,
         observer: Optional[PlanObserver] = None,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> Dict[RunRequest, SimulationReport]:
         """Run every unique cell through *backend*; returns the full
         request → report mapping.
@@ -1147,7 +1185,10 @@ class RunPlan:
         every freshly computed report is persisted for the next
         overlapping plan.  ``store_hits``/``store_misses`` record the
         split.  An *observer* receives per-cell progress events —
-        see :data:`OBSERVER_EVENTS`."""
+        see :data:`OBSERVER_EVENTS`.  A *cancel* predicate is polled
+        between cells (serial) or scheduling rounds (process): once
+        true, execution stops cooperatively and the mapping holds only
+        the cells finished so far."""
         try:
             execute = BACKENDS[backend]
         except KeyError:
@@ -1164,7 +1205,9 @@ class RunPlan:
             pending = [request for request in pending if request not in served]
         self.store_hits = len(served)
         self.store_misses = len(pending)
-        results, failures = execute(pending, jobs, policy, observer=observer)
+        results, failures = execute(
+            pending, jobs, policy, observer=observer, cancel=cancel
+        )
         if store is not None and results:
             store.put_many(results)
         self.failures = failures

@@ -1,0 +1,274 @@
+"""Admission control: API keys, token buckets, quotas, load shedding.
+
+The gatekeeper between :class:`~repro.service.api.ServiceServer` and
+:class:`~repro.service.scheduler.JobScheduler`.  Every submission
+passes three gates, in order:
+
+1. **authentication** — when a keyring is loaded (``serve --keys``),
+   API requests must carry ``Authorization: Bearer <key>``; the key
+   resolves to a client name that scopes every later limit.  Without
+   a keyring the service stays open and all traffic shares the
+   ``anonymous`` client (preserving the PR 7 zero-config demo path);
+2. **rate** — a per-client token bucket (``rate`` refills/s up to
+   ``burst``); an empty bucket sheds with ``429`` and an honest
+   ``Retry-After`` computed from the refill rate;
+3. **capacity** — a global bounded submit queue plus per-client
+   in-flight job and cell caps, so one tenant's 10,000-cell sweep
+   cannot starve the others; breaches shed with ``429`` rather than
+   queueing unbounded work.
+
+Everything here is deliberately clock-injectable (``clock=``) so the
+tests exercise bucket refill and Retry-After arithmetic without
+sleeping, and every shed increments ``service.requests_shed`` so the
+``/metrics`` scrape shows degradation before clients do.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import telemetry
+
+#: keyfile schema stamp (see docs/SERVICE.md for the format)
+KEYS_SCHEMA = "repro-keys/v1"
+
+#: client name used when no keyring is configured
+ANONYMOUS = "anonymous"
+
+
+class AdmissionError(Exception):
+    """A request the admission layer refused; carries the HTTP status
+    and (for shedding) the ``Retry-After`` hint."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class ClientQuota:
+    """Per-client limits; ``None`` anywhere means unlimited."""
+
+    rate: Optional[float] = None  # token-bucket refill, requests/s
+    burst: int = 10  # token-bucket capacity
+    max_jobs: Optional[int] = None  # in-flight job cap
+    max_cells: Optional[int] = None  # in-flight cell cap
+
+    def merged(self, overrides: Dict[str, Any]) -> "ClientQuota":
+        """A copy with any keyfile per-client overrides applied."""
+        return ClientQuota(
+            rate=overrides.get("rate", self.rate),
+            burst=int(overrides.get("burst", self.burst)),
+            max_jobs=overrides.get("max_jobs", self.max_jobs),
+            max_cells=overrides.get("max_cells", self.max_cells),
+        )
+
+
+class TokenBucket:
+    """Classic token bucket with lazy refill; thread-safe."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = max(1, int(burst))
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_take(self) -> Tuple[bool, float]:
+        """Take one token; returns ``(ok, retry_after_s)`` where the
+        hint is how long until a token will be available."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            needed = 1.0 - self._tokens
+            return False, needed / self.rate if self.rate > 0 else 60.0
+
+
+class Keyring:
+    """API keys → client names (+ per-client quota overrides)."""
+
+    def __init__(self, entries: Optional[List[Dict[str, Any]]] = None) -> None:
+        self._by_key: Dict[str, Dict[str, Any]] = {}
+        for entry in entries or []:
+            self._by_key[str(entry["key"])] = entry
+
+    @classmethod
+    def load(cls, path: str) -> "Keyring":
+        """Load a ``repro-keys/v1`` JSON keyfile."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != KEYS_SCHEMA:
+            raise ValueError(
+                f"keyfile {path!r}: expected schema {KEYS_SCHEMA!r}, "
+                f"got {payload.get('schema')!r}"
+            )
+        clients = payload.get("clients")
+        if not isinstance(clients, list) or not clients:
+            raise ValueError(f"keyfile {path!r}: 'clients' must be a non-empty list")
+        for entry in clients:
+            if "client" not in entry or "key" not in entry:
+                raise ValueError(
+                    f"keyfile {path!r}: every client entry needs 'client' and 'key'"
+                )
+        return cls(clients)
+
+    def lookup(self, token: Optional[str]) -> Optional[Dict[str, Any]]:
+        """The keyfile entry for a bearer token, or ``None``."""
+        if token is None:
+            return None
+        return self._by_key.get(token)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+
+class AdmissionController:
+    """The full admission pipeline shared by every API handler."""
+
+    def __init__(
+        self,
+        keyring: Optional[Keyring] = None,
+        default_quota: Optional[ClientQuota] = None,
+        max_queue: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.keyring = keyring
+        self.default_quota = default_quota or ClientQuota()
+        self.max_queue = max_queue
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._quotas: Dict[str, ClientQuota] = {}
+        #: per-client in-flight accounting: client -> [jobs, cells]
+        self._inflight: Dict[str, List[int]] = {}
+
+    # -- authentication ------------------------------------------------
+
+    def authenticate(self, authorization: Optional[str]) -> str:
+        """Resolve an ``Authorization`` header to a client name.
+
+        Open service (no keyring): everyone is ``anonymous``.  With a
+        keyring, a missing or unknown bearer token is a 401."""
+        if self.keyring is None or len(self.keyring) == 0:
+            return ANONYMOUS
+        token = None
+        if authorization and authorization.lower().startswith("bearer "):
+            token = authorization[7:].strip()
+        entry = self.keyring.lookup(token)
+        if entry is None:
+            raise AdmissionError(401, "missing or invalid API key")
+        client = str(entry["client"])
+        with self._lock:
+            if client not in self._quotas:
+                self._quotas[client] = self.default_quota.merged(entry)
+        return client
+
+    def quota_for(self, client: str) -> ClientQuota:
+        """The effective quota for *client*."""
+        with self._lock:
+            return self._quotas.get(client, self.default_quota)
+
+    # -- admission -----------------------------------------------------
+
+    def check_rate(self, client: str) -> None:
+        """Charge one request against the client's token bucket."""
+        quota = self.quota_for(client)
+        if quota.rate is None:
+            return
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(quota.rate, quota.burst, clock=self._clock)
+                self._buckets[client] = bucket
+        ok, retry_after = bucket.try_take()
+        if not ok:
+            self._shed()
+            raise AdmissionError(
+                429,
+                f"rate limit exceeded for client {client!r}",
+                retry_after=max(1.0, math.ceil(retry_after)),
+            )
+
+    def admit(self, client: str, cells: int, queue_depth: int) -> None:
+        """Admit one job of *cells* cells, or shed.
+
+        Checks the global bounded queue first (backpressure applies to
+        everyone), then the client's in-flight job/cell caps.  On
+        success the job is charged to the client's in-flight account —
+        callers must pair with :meth:`job_finished`."""
+        if self.max_queue is not None and queue_depth >= self.max_queue:
+            self._shed()
+            raise AdmissionError(
+                429,
+                f"submit queue full ({queue_depth}/{self.max_queue} jobs queued)",
+                retry_after=5.0,
+            )
+        quota = self.quota_for(client)
+        with self._lock:
+            jobs, inflight_cells = self._inflight.get(client, [0, 0])
+            if quota.max_jobs is not None and jobs >= quota.max_jobs:
+                self._shed_locked()
+                raise AdmissionError(
+                    429,
+                    f"client {client!r} already has {jobs} jobs in flight "
+                    f"(max {quota.max_jobs})",
+                    retry_after=5.0,
+                )
+            if (
+                quota.max_cells is not None
+                and inflight_cells + cells > quota.max_cells
+            ):
+                self._shed_locked()
+                raise AdmissionError(
+                    429,
+                    f"client {client!r} would have {inflight_cells + cells} "
+                    f"cells in flight (max {quota.max_cells})",
+                    retry_after=5.0,
+                )
+            self._inflight[client] = [jobs + 1, inflight_cells + cells]
+
+    def job_finished(self, client: str, cells: int) -> None:
+        """Return a finished (or rejected-downstream) job's in-flight
+        charge to the client's account."""
+        with self._lock:
+            jobs, inflight_cells = self._inflight.get(client, [0, 0])
+            self._inflight[client] = [
+                max(0, jobs - 1),
+                max(0, inflight_cells - cells),
+            ]
+
+    def inflight(self, client: str) -> Tuple[int, int]:
+        """Current ``(jobs, cells)`` in flight for *client*."""
+        with self._lock:
+            jobs, cells = self._inflight.get(client, [0, 0])
+            return jobs, cells
+
+    # -- shedding telemetry --------------------------------------------
+
+    def _shed(self) -> None:
+        with self._lock:
+            self._shed_locked()
+
+    def _shed_locked(self) -> None:
+        telemetry.get_registry().counter("service.requests_shed").add(1)

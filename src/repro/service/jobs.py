@@ -3,10 +3,20 @@
 A submitted plan becomes a :class:`Job`: a queued unit of work with a
 monotonically growing, thread-safe :class:`JobEventLog` that the HTTP
 layer streams to clients as NDJSON while scheduler threads append to
-it.  Job state moves strictly ``queued → running → completed|failed``;
-the terminal transition happens *after* the final event is appended,
-so a streamer that observes a terminal state has already seen every
-event.
+it.  Job state moves strictly ``queued → running →
+completed|failed|cancelled``; the terminal transition happens *after*
+the final event is appended, so a streamer that observes a terminal
+state has already seen every event.
+
+The event log can be bound to a durable backing (the
+``job_events`` table via
+:class:`repro.service.registry.RegistryEventBacking`): every appended
+event is persisted *before* it becomes visible in memory, and once the
+in-memory window exceeds :data:`EVENT_MEMORY_CAP` the oldest entries
+are dropped from RAM — :meth:`JobEventLog.events_since` transparently
+re-reads the spilled prefix from the backing, so ``/events?from=N``
+behaves identically whether the requested offset lives in memory, on
+disk, or straddles the boundary.
 """
 
 from __future__ import annotations
@@ -19,6 +29,10 @@ from typing import Any, Dict, List, Optional
 
 from repro.service.protocol import SERVICE_SCHEMA, ParsedJobSpec
 
+#: in-memory event-window cap when a durable backing is attached;
+#: beyond this, the oldest events live only in the registry
+EVENT_MEMORY_CAP = 1024
+
 
 class JobState(str, enum.Enum):
     """Lifecycle of one job (strictly forward-moving)."""
@@ -27,51 +41,92 @@ class JobState(str, enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 class JobEventLog:
     """Append-only, thread-safe event sequence with blocking reads.
 
     Scheduler threads :meth:`append`; streamers poll
-    :meth:`events_since` (cheap slice) or block on :meth:`wait_beyond`
-    until new events land.  Events are plain dicts stamped with the
-    service schema, a per-log sequence number and a wall-clock time."""
+    :meth:`events_since` (cheap slice for in-memory offsets) or block
+    on :meth:`wait_beyond` until new events land.  Events are plain
+    dicts stamped with the service schema, a per-log sequence number
+    and a wall-clock time.
 
-    def __init__(self) -> None:
+    With a *backing* (durable registry adapter exposing
+    ``append(record)`` / ``read(start, stop)``) the log persists every
+    record before publishing it and bounds its in-memory window to
+    *max_memory* events; *base* seeds the sequence counter past events
+    already persisted by a previous process (restart recovery)."""
+
+    def __init__(
+        self,
+        backing: Optional[Any] = None,
+        base: int = 0,
+        max_memory: Optional[int] = None,
+    ) -> None:
         self._events: List[Dict[str, Any]] = []
         self._condition = threading.Condition()
+        self._backing = backing
+        self._base = base  # seq of the first in-memory event
+        self._total = base  # total events ever appended (next seq)
+        if max_memory is None and backing is not None:
+            max_memory = EVENT_MEMORY_CAP
+        self._max_memory = max_memory
 
     def append(self, event: str, **fields: Any) -> Dict[str, Any]:
-        """Append one event; returns the stamped record."""
+        """Append one event; returns the stamped record.
+
+        With a durable backing the record is persisted first, so any
+        event a streamer can observe is already crash-safe."""
         with self._condition:
             record = {
                 "schema": SERVICE_SCHEMA,
                 "event": event,
-                "seq": len(self._events),
+                "seq": self._total,
                 "t_s": time.time(),
                 **fields,
             }
+            if self._backing is not None:
+                self._backing.append(record)
             self._events.append(record)
+            self._total += 1
+            if (
+                self._max_memory is not None
+                and self._backing is not None
+                and len(self._events) > self._max_memory
+            ):
+                spill = len(self._events) - self._max_memory
+                del self._events[:spill]
+                self._base += spill
             self._condition.notify_all()
         return record
 
     def events_since(self, offset: int) -> List[Dict[str, Any]]:
-        """Every event with ``seq >= offset`` (possibly empty)."""
+        """Every event with ``seq >= offset`` (possibly empty).
+
+        Offsets below the in-memory window are served from the durable
+        backing and stitched seamlessly onto the in-memory tail."""
         with self._condition:
-            return list(self._events[offset:])
+            base = self._base
+            tail = list(self._events[max(0, offset - base):])
+        if offset >= base or self._backing is None:
+            return tail
+        prefix = self._backing.read(offset, base)
+        return prefix + tail
 
     def wait_beyond(self, offset: int, timeout: float = 1.0) -> bool:
         """Block until an event with ``seq >= offset`` exists (or
         *timeout* elapses); returns whether one does."""
         with self._condition:
-            if len(self._events) > offset:
+            if self._total > offset:
                 return True
             self._condition.wait(timeout)
-            return len(self._events) > offset
+            return self._total > offset
 
     def __len__(self) -> int:
         with self._condition:
-            return len(self._events)
+            return self._total
 
 
 class Job:
@@ -79,18 +134,34 @@ class Job:
 
     Everything mutable is guarded by the job's lock; ``status_dict``
     is the JSON the status endpoint returns, ``result``/``manifest``
-    are populated atomically *before* the terminal state transition."""
+    are populated atomically *before* the terminal state transition.
 
-    def __init__(self, spec: ParsedJobSpec, job_id: Optional[str] = None) -> None:
+    ``cancel_requested`` is the cooperative cancellation flag: the
+    HTTP layer (or the registry poll, for cross-replica cancels) sets
+    it, the scheduler checks it between cells and lands the job in
+    ``cancelled`` with whatever partial results made it to the store.
+    ``suspended`` marks a job handed back to the registry by a
+    draining replica — streamers treat it like a terminal event for
+    *this* process while the job itself stays recoverable."""
+
+    def __init__(
+        self,
+        spec: ParsedJobSpec,
+        job_id: Optional[str] = None,
+        log: Optional[JobEventLog] = None,
+    ) -> None:
         self.id = job_id or f"job-{uuid.uuid4().hex[:12]}"
         self.spec = spec
-        self.log = JobEventLog()
+        self.log = log if log is not None else JobEventLog()
+        self.client = ""
         self.submitted_s = time.time()
         self.started_s: Optional[float] = None
         self.finished_s: Optional[float] = None
         self.result: Optional[Dict[str, Any]] = None
         self.manifest: Optional[Dict[str, Any]] = None
         self.error: Optional[str] = None
+        self.suspended = False
+        self._cancel_requested = False
         self._state = JobState.QUEUED
         self._lock = threading.Lock()
 
@@ -103,7 +174,30 @@ class Job:
     @property
     def done(self) -> bool:
         """Whether the job reached a terminal state."""
-        return self.state in (JobState.COMPLETED, JobState.FAILED)
+        return self.state in (
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+        )
+
+    @property
+    def cancel_requested(self) -> bool:
+        """Whether anyone asked this job to stop."""
+        with self._lock:
+            return self._cancel_requested
+
+    def request_cancel(self) -> bool:
+        """Set the cooperative cancel flag; ``False`` when the job is
+        already terminal (nothing to cancel)."""
+        with self._lock:
+            if self._state in (
+                JobState.COMPLETED,
+                JobState.FAILED,
+                JobState.CANCELLED,
+            ):
+                return False
+            self._cancel_requested = True
+            return True
 
     def mark_running(self) -> None:
         """Transition ``queued → running`` (scheduler-thread only)."""
@@ -129,6 +223,19 @@ class Job:
             self.finished_s = time.time()
             self._state = JobState.FAILED
 
+    def mark_cancelled(
+        self,
+        result: Optional[Dict[str, Any]] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Land in terminal ``cancelled``, keeping any partial result
+        payload (everything computed so far stays in the store)."""
+        with self._lock:
+            self.result = result
+            self.manifest = manifest
+            self.finished_s = time.time()
+            self._state = JobState.CANCELLED
+
     def status_dict(self) -> Dict[str, Any]:
         """The JSON body of ``GET /api/v1/jobs/<id>``."""
         with self._lock:
@@ -144,4 +251,5 @@ class Job:
                 "started_s": self.started_s,
                 "finished_s": self.finished_s,
                 "error": self.error,
+                "cancel_requested": self._cancel_requested,
             }

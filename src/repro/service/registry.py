@@ -1,0 +1,381 @@
+"""Durable job registry: jobs, events and leases in the store file.
+
+The promotion of the in-memory job table (:mod:`repro.service.jobs`)
+to the same SQLite database file as the content-addressed
+:class:`~repro.service.store.ResultStore`, so one ``--store`` path
+carries everything a restarted — or additional — ``serve`` process
+needs to pick up exactly where the last one stopped:
+
+* **job rows** (``job_registry``) — the raw submission spec (replayed
+  through :func:`~repro.service.protocol.parse_job_spec` on
+  recovery, so a recovered plan is cell-for-cell identical), state
+  transitions with timestamps, the cooperative ``cancel_requested``
+  flag, and the persisted event-log offset;
+* **event rows** (``job_events``) — every event appended to a job's
+  :class:`~repro.service.jobs.JobEventLog` lands here *before* it
+  becomes visible to streamers, which makes ``/events?from=N``
+  exactly-once across crashes: any event a client ever saw is durable,
+  and a reconnect after restart replays the persisted prefix and
+  continues seamlessly into the recovered run's fresh events.  The
+  same table is the spill target that keeps week-long jobs' in-memory
+  event windows bounded (:data:`repro.service.jobs.EVENT_MEMORY_CAP`);
+* **leases** — each non-terminal job is owned by at most one replica
+  (``owner`` + ``lease_expires_s``); owners heartbeat their leases,
+  and a lease that expires (crashed or SIGKILLed replica) makes the
+  job an *orphan* that any peer's recovery sweep can atomically
+  claim (``service.lease_takeovers``).  Claims are single ``UPDATE …
+  WHERE`` statements, so two replicas racing on the same orphan
+  resolve to exactly one winner.
+
+Everything here is WAL-mode SQLite with a busy timeout — the same
+concurrency envelope as the result store — so scheduler threads
+within a replica and multiple replica processes sharing the database
+file coordinate without extra locking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+#: registry schema stamp (bump on any table change)
+REGISTRY_SCHEMA = "repro-registry/v1"
+
+#: job states a replica may recover (everything non-terminal)
+RECOVERABLE_STATES = ("queued", "running")
+
+_JOBS_DDL = """
+CREATE TABLE IF NOT EXISTS job_registry (
+    job_id           TEXT PRIMARY KEY,
+    schema           TEXT NOT NULL,
+    spec             TEXT NOT NULL,
+    kind             TEXT NOT NULL,
+    name             TEXT NOT NULL,
+    client           TEXT NOT NULL DEFAULT '',
+    state            TEXT NOT NULL,
+    cells            INTEGER NOT NULL,
+    submitted_s      REAL NOT NULL,
+    started_s        REAL,
+    finished_s       REAL,
+    error            TEXT,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    owner            TEXT,
+    lease_expires_s  REAL,
+    events           INTEGER NOT NULL DEFAULT 0
+)
+"""
+
+_EVENTS_DDL = """
+CREATE TABLE IF NOT EXISTS job_events (
+    job_id  TEXT NOT NULL,
+    seq     INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+)
+"""
+
+
+def replica_id() -> str:
+    """A unique owner identity for one ``serve`` process."""
+    return f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+class RegistryEventBacking:
+    """Adapter binding one job's durable event rows to its in-memory
+    :class:`~repro.service.jobs.JobEventLog` (the spill/replay seam)."""
+
+    def __init__(self, registry: "JobRegistry", job_id: str) -> None:
+        self.registry = registry
+        self.job_id = job_id
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Persist one stamped event record durably."""
+        self.registry.append_event(self.job_id, record)
+
+    def read(self, start: int, stop: int) -> List[Dict[str, Any]]:
+        """Persisted events with ``start <= seq < stop``."""
+        return self.registry.events(self.job_id, start, stop)
+
+
+class JobRegistry:
+    """Durable job table + event log + leases on one SQLite file.
+
+    One instance wraps one connection (safe across threads via an
+    interlock); separate replicas open their own instances on the same
+    path.  All mutating statements are single autocommitted
+    transactions, so cross-replica races resolve by row, never by
+    convention."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=10000")
+            self._conn.execute(_JOBS_DDL)
+            self._conn.execute(_EVENTS_DDL)
+            self._conn.commit()
+
+    # -- job rows ------------------------------------------------------
+
+    def create(
+        self,
+        job_id: str,
+        raw_spec: Dict[str, Any],
+        kind: str,
+        name: str,
+        cells: int,
+        client: str = "",
+        owner: Optional[str] = None,
+        lease_s: float = 15.0,
+    ) -> None:
+        """Insert one submitted job, leased to its submitting replica."""
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO job_registry "
+                "(job_id, schema, spec, kind, name, client, state, cells, "
+                " submitted_s, owner, lease_expires_s, events) "
+                "VALUES (?, ?, ?, ?, ?, ?, 'queued', ?, ?, ?, ?, 0)",
+                (
+                    job_id,
+                    REGISTRY_SCHEMA,
+                    json.dumps(raw_spec, sort_keys=True),
+                    kind,
+                    name,
+                    client,
+                    cells,
+                    now,
+                    owner,
+                    None if owner is None else now + lease_s,
+                ),
+            )
+            self._conn.commit()
+
+    def get(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The registry row for *job_id* as a dict, or ``None``."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT * FROM job_registry WHERE job_id = ?", (job_id,)
+            )
+            row = cursor.fetchone()
+            if row is None:
+                return None
+            columns = [entry[0] for entry in cursor.description]
+        record = dict(zip(columns, row))
+        record["cancel_requested"] = bool(record["cancel_requested"])
+        return record
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        """Every registry row, oldest submission first."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT job_id FROM job_registry ORDER BY submitted_s, job_id"
+            )
+            ids = [row[0] for row in cursor.fetchall()]
+        rows = []
+        for job_id in ids:
+            record = self.get(job_id)
+            if record is not None:
+                rows.append(record)
+        return rows
+
+    def set_state(
+        self,
+        job_id: str,
+        state: str,
+        error: Optional[str] = None,
+        release_lease: bool = False,
+    ) -> None:
+        """Record a state transition (terminal states release the
+        lease automatically; *release_lease* forces it for requeues)."""
+        now = time.time()
+        terminal = state in ("completed", "failed", "cancelled")
+        sets = ["state = ?"]
+        params: List[Any] = [state]
+        if state == "running":
+            sets.append("started_s = ?")
+            params.append(now)
+        if terminal:
+            sets.append("finished_s = ?")
+            params.append(now)
+        if error is not None:
+            sets.append("error = ?")
+            params.append(error)
+        if terminal or release_lease:
+            sets.append("owner = NULL")
+            sets.append("lease_expires_s = NULL")
+        params.append(job_id)
+        with self._lock:
+            self._conn.execute(
+                f"UPDATE job_registry SET {', '.join(sets)} WHERE job_id = ?",
+                params,
+            )
+            self._conn.commit()
+
+    # -- cancellation --------------------------------------------------
+
+    def request_cancel(self, job_id: str) -> bool:
+        """Set the cooperative cancel flag; ``False`` for unknown or
+        already-terminal jobs."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE job_registry SET cancel_requested = 1 "
+                "WHERE job_id = ? AND state IN ('queued', 'running')",
+                (job_id,),
+            )
+            self._conn.commit()
+            return cursor.rowcount == 1
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Whether someone asked *job_id* to stop (polled between
+        cells by the owning scheduler)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT cancel_requested FROM job_registry WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+        return bool(row and row[0])
+
+    # -- leases --------------------------------------------------------
+
+    def heartbeat(self, owner: str, lease_s: float) -> int:
+        """Extend the lease on every non-terminal job *owner* holds;
+        returns how many leases were renewed."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE job_registry SET lease_expires_s = ? "
+                "WHERE owner = ? AND state IN ('queued', 'running')",
+                (time.time() + lease_s, owner),
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
+    def release_owner(self, owner: str) -> int:
+        """Release every non-terminal job *owner* holds back to the
+        queued pool (the graceful-drain path); returns the count."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE job_registry SET owner = NULL, lease_expires_s = NULL, "
+                "state = 'queued' "
+                "WHERE owner = ? AND state IN ('queued', 'running')",
+                (owner,),
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
+    def claim_orphans(
+        self, owner: str, lease_s: float
+    ) -> List[Tuple[Dict[str, Any], bool]]:
+        """Atomically claim every recoverable job whose lease lapsed.
+
+        Returns ``(row, takeover)`` pairs — *takeover* is ``True`` when
+        the job was stolen from a (dead) previous owner rather than
+        picked up ownerless.  The claim is one conditional ``UPDATE``
+        per candidate, so concurrent sweeps on other replicas can never
+        double-claim."""
+        now = time.time()
+        with self._lock:
+            candidates = self._conn.execute(
+                "SELECT job_id, owner FROM job_registry "
+                "WHERE state IN ('queued', 'running') "
+                "AND (owner IS NULL OR (lease_expires_s < ? AND owner != ?)) "
+                "ORDER BY submitted_s, job_id",
+                (now, owner),
+            ).fetchall()
+        claimed: List[Tuple[Dict[str, Any], bool]] = []
+        for job_id, previous_owner in candidates:
+            with self._lock:
+                cursor = self._conn.execute(
+                    "UPDATE job_registry SET owner = ?, lease_expires_s = ? "
+                    "WHERE job_id = ? AND state IN ('queued', 'running') "
+                    "AND (owner IS NULL OR (lease_expires_s < ? AND owner != ?))",
+                    (owner, now + lease_s, job_id, now, owner),
+                )
+                self._conn.commit()
+                if cursor.rowcount != 1:
+                    continue  # another replica won the race
+            row = self.get(job_id)
+            if row is not None:
+                claimed.append((row, previous_owner is not None))
+        return claimed
+
+    # -- events --------------------------------------------------------
+
+    def append_event(self, job_id: str, record: Dict[str, Any]) -> None:
+        """Durably persist one stamped event (idempotent per seq)."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO job_events (job_id, seq, payload) "
+                "VALUES (?, ?, ?)",
+                (job_id, record["seq"], json.dumps(record, sort_keys=True)),
+            )
+            self._conn.execute(
+                "UPDATE job_registry SET events = "
+                "(SELECT COUNT(*) FROM job_events WHERE job_id = ?) "
+                "WHERE job_id = ?",
+                (job_id, job_id),
+            )
+            self._conn.commit()
+
+    def events(
+        self, job_id: str, start: int = 0, stop: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Persisted events with ``start <= seq`` (``< stop`` if given),
+        in sequence order."""
+        query = (
+            "SELECT payload FROM job_events WHERE job_id = ? AND seq >= ?"
+        )
+        params: List[Any] = [job_id, start]
+        if stop is not None:
+            query += " AND seq < ?"
+            params.append(stop)
+        query += " ORDER BY seq"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def event_count(self, job_id: str) -> int:
+        """How many events *job_id* has persisted."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM job_events WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return int(row[0])
+
+    def log_backing(self, job_id: str) -> RegistryEventBacking:
+        """The durable backing for one job's in-memory event log."""
+        return RegistryEventBacking(self, job_id)
+
+    # -- summaries -----------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Job totals by state across every replica sharing the file."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM job_registry GROUP BY state"
+            ).fetchall()
+        totals = {
+            state: 0
+            for state in ("queued", "running", "completed", "failed", "cancelled")
+        }
+        for state, count in rows:
+            totals[state] = count
+        return totals
+
+    def close(self) -> None:
+        """Close the connection (safe to call repeatedly)."""
+        with self._lock:
+            try:
+                self._conn.close()
+            except sqlite3.ProgrammingError:  # pragma: no cover - already closed
+                pass

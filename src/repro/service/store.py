@@ -204,6 +204,16 @@ class ResultStore:
 
     # -- maintenance ---------------------------------------------------
 
+    def ping(self) -> bool:
+        """Whether the store can execute a query right now (the
+        ``/readyz`` reachability probe)."""
+        try:
+            with self._lock:
+                self._conn.execute("SELECT 1").fetchone()
+            return True
+        except sqlite3.Error:
+            return False
+
     def stats(self) -> Dict[str, Any]:
         """Store statistics: entry/hit totals, sizes, age span."""
         with self._lock:

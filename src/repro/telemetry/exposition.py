@@ -42,8 +42,12 @@ WELL_KNOWN_COUNTERS = (
     "service.jobs_submitted",
     "service.jobs_completed",
     "service.jobs_failed",
+    "service.jobs_cancelled",
+    "service.jobs_recovered",
     "service.cells_served_from_store",
     "service.cells_computed",
+    "service.requests_shed",
+    "service.lease_takeovers",
 )
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
@@ -80,10 +84,16 @@ def render_prometheus(
     registry: Registry,
     job_counts: Optional[Dict[str, int]] = None,
     store_stats: Optional[Dict[str, Any]] = None,
+    extra_gauges: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Render *registry* (plus optional scheduler job-state totals and
     store statistics) as Prometheus text exposition; always ends with
-    a trailing newline as the format requires."""
+    a trailing newline as the format requires.
+
+    *extra_gauges* maps bare metric names (already underscored, e.g.
+    ``service_queue_depth``) to instantaneous values — the hook the
+    service uses for operational gauges that aren't counters (queue
+    depth, lease ages)."""
     lines: List[str] = []
     counters = dict.fromkeys(WELL_KNOWN_COUNTERS, 0)
     counters.update(registry.counters)
@@ -132,4 +142,12 @@ def render_prometheus(
             lines.append(f"# HELP {metric} {help_text}")
             lines.append(f"# TYPE {metric} gauge")
             lines.append(_sample(metric, value))
+    for name in sorted(extra_gauges or {}):
+        value = extra_gauges[name]
+        if not isinstance(value, (int, float)):
+            continue
+        metric = metric_name(name)
+        lines.append(f"# HELP {metric} Service gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(_sample(metric, value))
     return "\n".join(lines) + "\n"

@@ -1,0 +1,332 @@
+#!/usr/bin/env python
+"""CI hardening smoke: crash the service for real and watch it recover.
+
+Two chaos scenarios against real ``python -m repro.harness serve``
+processes (short ``--lease`` so orphan claims happen in seconds):
+
+1. **Restart recovery** — submit a multi-cell sweep, SIGKILL the
+   server after a couple of cells land, restart ``serve`` on the same
+   store, and assert the job finishes with **zero store-resident
+   cells re-simulated** (the recovered run's ``store_hits`` equals
+   the store's entry count at the moment of the kill) and one gapless
+   exactly-once event sequence (including ``job-recovered``) across
+   both incarnations.
+
+2. **Two replicas, one store** — two ``serve`` processes share a
+   store database; a sweep submitted to replica A is finished by
+   replica B after A is SIGKILLed mid-job, with zero lost and zero
+   recomputed cells, and B's ``/metrics`` showing the takeover.
+
+Run from the repository root (the CI service-hardening job does
+exactly this)::
+
+    PYTHONPATH=src python tests/hardening_smoke.py
+
+Artifacts (job manifests, event logs, ``/metrics`` scrapes, server
+logs) land in ``./hardening-artifacts`` (override with
+``HARDENING_SMOKE_DIR``) so CI can upload them.
+"""
+
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+ARTIFACT_DIR = os.environ.get("HARDENING_SMOKE_DIR", "hardening-artifacts")
+
+#: a sweep wide enough that a SIGKILL after two cells is mid-job
+CHAOS_JOB = {
+    "experiment": "fig5",
+    "programs": ["li", "espresso", "gcc"],
+    "instructions": 20_000,
+    "engine": "fast",
+}
+
+#: how many finished cells to wait for before pulling the plug
+KILL_AFTER_CELLS = 2
+
+#: lease seconds for every server — short, so recovery is fast
+LEASE_S = "2"
+
+
+def fail(message: str) -> "None":
+    print(f"HARDENING SMOKE FAILED: {message}")
+    sys.exit(1)
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def get_text(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.read().decode("utf-8")
+
+
+def post(url: str, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def write_artifact(name: str, payload) -> None:
+    path = os.path.join(ARTIFACT_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        if isinstance(payload, str):
+            handle.write(payload)
+        else:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"artifact -> {path}")
+
+
+def start_server(store_path: str, label: str):
+    """Launch ``serve`` on an ephemeral port; returns (process, url)."""
+    log_path = os.path.join(ARTIFACT_DIR, f"server-{label}.log")
+    log = open(log_path, "w", encoding="utf-8")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.harness",
+            "serve",
+            "--port",
+            "0",
+            "--store",
+            store_path,
+            "--lease",
+            LEASE_S,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    deadline = time.time() + 30
+    url = None
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        log.write(line)
+        if line.startswith("serving on "):
+            url = line.split("serving on ", 1)[1].strip()
+            break
+    if url is None:
+        process.kill()
+        fail(f"server {label} never reported its URL (see {log_path})")
+    log.flush()
+    wait_ready(url, label)
+    return process, url
+
+
+def wait_ready(url: str, label: str, timeout: float = 30.0) -> None:
+    """Poll ``/readyz`` until the server answers 200 ready."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        try:
+            body = get(f"{url}/readyz")
+            if body.get("ready"):
+                return
+        except (urllib.error.URLError, OSError):
+            pass
+        time.sleep(0.1)
+    fail(f"server {label} never became ready at {url}/readyz")
+
+
+def kill_after_cells(process, url: str, job_id: str, label: str) -> None:
+    """Stream the job's events and SIGKILL *process* once
+    ``KILL_AFTER_CELLS`` cells have finished."""
+    cells = 0
+    stream = urllib.request.urlopen(
+        f"{url}/api/v1/jobs/{job_id}/events", timeout=120
+    )
+    try:
+        for line in stream:
+            if not line.strip():
+                continue
+            event = json.loads(line)
+            if event["event"] == "cell":
+                cells += 1
+            if event["event"].startswith("job-") and event["event"] not in (
+                "job-queued",
+                "job-started",
+            ):
+                fail(
+                    f"{label}: job reached {event['event']} before the "
+                    f"kill landed — widen CHAOS_JOB"
+                )
+            if cells >= KILL_AFTER_CELLS:
+                break
+    finally:
+        stream.close()
+    process.kill()
+    process.wait(timeout=10)
+    print(f"{label}: SIGKILLed the server after {cells} finished cells")
+
+
+def store_entries(store_path: str) -> int:
+    """Count result rows straight off the (crashed) database file."""
+    conn = sqlite3.connect(store_path)
+    try:
+        return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+    finally:
+        conn.close()
+
+
+def await_job(url: str, job_id: str, timeout: float = 180.0):
+    """Poll job status (registry-backed, so it works before the job is
+    claimed) until a terminal state; returns the final status body."""
+    deadline = time.time() + timeout
+    status = None
+    while time.time() < deadline:
+        try:
+            status = get(f"{url}/api/v1/jobs/{job_id}")
+        except urllib.error.HTTPError as error:
+            fail(f"job {job_id} vanished after the crash: {error}")
+        if status.get("state") in ("completed", "failed", "cancelled"):
+            return status
+        time.sleep(0.25)
+    fail(f"job {job_id} never finished after recovery: {status}")
+
+
+def check_exactly_once(url: str, job_id: str, label: str):
+    """The persisted log replays gapless from 0 across incarnations."""
+    events = [
+        json.loads(line)
+        for line in get_text(f"{url}/api/v1/jobs/{job_id}/events?from=0")
+        .strip()
+        .splitlines()
+        if line.strip()
+    ]
+    seqs = [event["seq"] for event in events]
+    if seqs != list(range(len(seqs))):
+        fail(f"{label}: event seqs are not gapless exactly-once: {seqs}")
+    kinds = [event["event"] for event in events]
+    if "job-recovered" not in kinds:
+        fail(f"{label}: no job-recovered event in {kinds}")
+    if kinds[-1] != "job-completed":
+        fail(f"{label}: log ends on {kinds[-1]!r}, not job-completed")
+    write_artifact(f"events-{label}.json", events)
+    return events
+
+
+def check_no_recompute(manifest, entries_at_kill: int, label: str) -> None:
+    counters = manifest["counters"]
+    if counters["store_hits"] != entries_at_kill:
+        fail(
+            f"{label}: expected exactly the {entries_at_kill} cells "
+            f"finished before the kill to be store hits, manifest says "
+            f"{counters['store_hits']}"
+        )
+    expected_computed = counters["cells_unique"] - entries_at_kill
+    if counters["cells_computed"] != expected_computed:
+        fail(
+            f"{label}: recovered run recomputed cells: {counters}"
+        )
+    if counters["cells_quarantined"] != 0:
+        fail(f"{label}: lost cells to quarantine: {counters}")
+    print(
+        f"{label}: {counters['cells_unique']} cells — "
+        f"{entries_at_kill} survived the crash in the store, "
+        f"{expected_computed} computed after recovery, zero lost, "
+        f"zero recomputed"
+    )
+
+
+def restart_recovery() -> None:
+    """Scenario 1: SIGKILL mid-job, restart on the same store."""
+    print("--- scenario 1: restart recovery ---")
+    store_path = os.path.join(ARTIFACT_DIR, "restart-store.sqlite")
+    first, url = start_server(store_path, "restart-first")
+    submitted = post(f"{url}/api/v1/jobs", CHAOS_JOB)
+    job_id = submitted["job_id"]
+    print(f"restart: submitted {job_id}")
+    kill_after_cells(first, url, job_id, "restart")
+    entries_at_kill = store_entries(store_path)
+    if entries_at_kill < KILL_AFTER_CELLS:
+        fail(
+            f"restart: only {entries_at_kill} cells persisted before "
+            f"the kill — incremental store writes are broken"
+        )
+
+    second, url = start_server(store_path, "restart-second")
+    try:
+        status = await_job(url, job_id)
+        if status["state"] != "completed":
+            fail(f"restart: recovered job ended {status['state']}: {status}")
+        manifest = get(f"{url}/api/v1/jobs/{job_id}/manifest")
+        write_artifact("restart-manifest.json", manifest)
+        check_no_recompute(manifest, entries_at_kill, "restart")
+        check_exactly_once(url, job_id, "restart")
+        metrics = get_text(f"{url}/metrics")
+        write_artifact("restart-metrics.prom", metrics)
+        if "repro_service_jobs_recovered_total 1" not in metrics:
+            fail("restart: jobs_recovered counter missing from /metrics")
+    finally:
+        second.send_signal(signal.SIGTERM)
+        try:
+            second.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            second.kill()
+
+
+def two_replicas() -> None:
+    """Scenario 2: replica B finishes what a SIGKILLed A started."""
+    print("--- scenario 2: two replicas, one store ---")
+    store_path = os.path.join(ARTIFACT_DIR, "replica-store.sqlite")
+    replica_a, url_a = start_server(store_path, "replica-a")
+    replica_b, url_b = start_server(store_path, "replica-b")
+    try:
+        submitted = post(f"{url_a}/api/v1/jobs", CHAOS_JOB)
+        job_id = submitted["job_id"]
+        print(f"replicas: submitted {job_id} to A")
+        kill_after_cells(replica_a, url_a, job_id, "replicas")
+        entries_at_kill = store_entries(store_path)
+
+        status = await_job(url_b, job_id)
+        if status["state"] != "completed":
+            fail(f"replicas: job ended {status['state']} on B: {status}")
+        manifest = get(f"{url_b}/api/v1/jobs/{job_id}/manifest")
+        write_artifact("replica-manifest.json", manifest)
+        check_no_recompute(manifest, entries_at_kill, "replicas")
+        check_exactly_once(url_b, job_id, "replicas")
+        stats = get(f"{url_b}/api/v1/store/stats")
+        if stats["store"]["entries"] != manifest["counters"]["cells_unique"]:
+            fail(f"replicas: store entry count mismatch: {stats['store']}")
+        metrics = get_text(f"{url_b}/metrics")
+        write_artifact("replica-metrics.prom", metrics)
+        if "repro_service_lease_takeovers_total 1" not in metrics:
+            fail("replicas: lease_takeovers counter missing from B's /metrics")
+    finally:
+        for process in (replica_a, replica_b):
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        for process in (replica_a, replica_b):
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+def main() -> int:
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    restart_recovery()
+    two_replicas()
+    print("OK: restart recovery and replica takeover both clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

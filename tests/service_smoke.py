@@ -24,6 +24,7 @@ import signal
 import subprocess
 import sys
 import time
+import urllib.error
 import urllib.request
 
 ARTIFACT_DIR = os.environ.get("SERVICE_SMOKE_DIR", "service-artifacts")
@@ -106,7 +107,22 @@ def start_server(store_path: str):
     if url is None:
         process.kill()
         fail(f"server never reported its URL; output: {''.join(lines)}")
+    wait_ready(url)
     return process, url
+
+
+def wait_ready(url: str, timeout: float = 30.0) -> None:
+    """Poll ``/readyz`` until the server answers ready — no sleeps."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        try:
+            body = get(f"{url}/readyz")
+            if body.get("ready"):
+                return
+        except (urllib.error.URLError, OSError):
+            pass
+        time.sleep(0.1)
+    fail(f"server never became ready at {url}/readyz")
 
 
 def run_job(url: str, label: str):

@@ -40,6 +40,7 @@ class TestReadme:
                 "attribute",
                 "serve",
                 "store",
+                "jobs",
             ):
                 continue
             assert name in EXPERIMENTS, name
