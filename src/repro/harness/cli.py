@@ -18,6 +18,9 @@ Examples::
     python -m repro.harness jobs cancel job-abc123 --store results/store.sqlite
     python -m repro.harness fig5 --seed 7 --out exports/seed7 --formats json
     python -m repro.harness analyze --exports exports/base exports/head --gate
+    python -m repro.harness ingest --trace server.champsim.gz
+    python -m repro.harness replay --trace trace.cbp --engine fast
+    python -m repro.harness replay --programs server-frontend server-leaf
 
 ``list`` prints every registered experiment with its simulation cell
 count (computed by materialising the plans — no simulation runs) and
@@ -103,7 +106,7 @@ from repro.harness.tables import format_seconds, format_table
 from repro.telemetry.core import Registry, use
 from repro.telemetry.sinks import write_chrome_trace, write_events
 from repro.testing.faults import FAULTS_ENV_VAR
-from repro.workloads.profiles import paper_programs
+from repro.workloads.profiles import PROFILES, paper_programs
 
 
 def _jobs_value(text: str) -> int:
@@ -118,6 +121,20 @@ def _jobs_value(text: str) -> int:
         return validate_worker_count(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _program_value(text: str) -> str:
+    """``--programs`` validator: a registered profile name or an
+    ingested ``external:<sha256>`` trace key (docs/TRACES.md)."""
+    from repro.workloads.ingest import is_external
+
+    if text in PROFILES or is_external(text):
+        return text
+    raise argparse.ArgumentTypeError(
+        f"unknown program {text!r}: expected one of "
+        f"{', '.join(sorted(PROFILES))}, or an ingested "
+        f"'external:<sha256>' trace key (see 'ingest --trace FILE')"
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -135,6 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "all",
             "analyze",
             "attribute",
+            "ingest",
             "jobs",
             "list",
             "bench",
@@ -147,9 +165,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "'bench' runs the standardised benchmarks and writes "
             "BENCH_*.json artifacts, 'attribute' renders per-cause/"
             "per-site penalty profiles, 'analyze' renders the cross-run "
-            "regression dashboard from export sets, 'serve' starts the "
-            "simulation service HTTP API, 'store' administers the "
-            "result store, 'jobs' administers the durable job registry)"
+            "regression dashboard from export sets, 'ingest' imports "
+            "external branch traces into the corpus (docs/TRACES.md), "
+            "'serve' starts the simulation service HTTP API, 'store' "
+            "administers the result store, 'jobs' administers the "
+            "durable job registry)"
         ),
     )
     parser.add_argument(
@@ -170,9 +190,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--programs",
         nargs="+",
-        choices=list(paper_programs()),
+        type=_program_value,
+        metavar="PROGRAM",
         default=None,
-        help="restrict to a subset of the six programs",
+        help=(
+            "restrict to a subset of workloads: any profile name "
+            "(the six paper programs plus server-frontend/server-leaf) "
+            "or an ingested 'external:<sha256>' trace key"
+        ),
     )
     parser.add_argument(
         "--instructions",
@@ -489,6 +514,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "analyze: relative differences at or below this fraction "
             "never gate, however significant (default: 0.005)"
+        ),
+    )
+    ingest_group = parser.add_argument_group("ingest options (docs/TRACES.md)")
+    ingest_group.add_argument(
+        "--trace",
+        action="append",
+        metavar="FILE",
+        default=None,
+        help=(
+            "external branch-trace file to ingest (repeatable; "
+            "ChampSim-style binary or CBP-style text, gzip/xz "
+            "transparent).  With 'ingest' the file is imported and its "
+            "'external:<sha256>' key printed; with an experiment, the "
+            "ingested trace joins that experiment's --programs roster"
+        ),
+    )
+    ingest_group.add_argument(
+        "--trace-format",
+        choices=("auto", "champsim", "cbp"),
+        default="auto",
+        help=(
+            "format of the --trace files (default: auto — sniffed from "
+            "the decompressed magic bytes, never from the file name)"
+        ),
+    )
+    ingest_group.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "external-trace store directory (default: "
+            "$REPRO_EXTERNAL_TRACE_DIR or ./external-traces)"
         ),
     )
     attribute = parser.add_argument_group("attribute options")
@@ -835,6 +892,99 @@ def _run_attribute(args: argparse.Namespace) -> int:
     return failure_status
 
 
+def _ingest_traces(args: argparse.Namespace) -> List[str]:
+    """Ingest every ``--trace`` file into the external-trace store.
+
+    Returns the ``external:<sha256>`` corpus keys in ``--trace``
+    order.  Raises ``SystemExit(2)`` with a one-line actionable error
+    — never a traceback — when a file is unreadable, malformed, or in
+    an unsupported format (the docs/TRACES.md error contract).
+    """
+    from repro.workloads.formats import TraceFormatError
+    from repro.workloads.ingest import (
+        external_trace_dir,
+        ingest_and_store,
+    )
+    from repro.workloads.stats import footprint
+
+    names: List[str] = []
+    for path in args.trace:
+        try:
+            trace, name = ingest_and_store(
+                path, fmt=args.trace_format, directory=args.trace_dir
+            )
+        except TraceFormatError as exc:
+            print(f"ingest: {exc}")
+            raise SystemExit(2) from None
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            print(
+                f"ingest: cannot read {path}: {reason} — check the path "
+                f"and permissions"
+            )
+            raise SystemExit(2) from None
+        except ValueError as exc:
+            print(f"ingest: {path}: {exc}")
+            raise SystemExit(2) from None
+        fp = footprint(trace)
+        print(
+            f"ingested {path} -> {name}\n"
+            f"  {trace.n_events:,} events, {trace.n_instructions:,} "
+            f"instructions, {fp.code_bytes_touched / 1024:.0f} KB code "
+            f"touched, {fp.distinct_branch_sites:,} branch sites\n"
+            f"  stored in {external_trace_dir(args.trace_dir)}/"
+        )
+        names.append(name)
+    return names
+
+
+def _check_external_programs(args: argparse.Namespace) -> None:
+    """Fail fast on unusable ``external:`` program keys.
+
+    A malformed key or one missing from the external-trace store
+    would otherwise surface as a traceback from deep inside a sweep;
+    checking here keeps the docs/TRACES.md one-line error contract.
+    Raises ``SystemExit(2)``."""
+    from repro.workloads.ingest import (
+        EXTERNAL_DIR_ENV_VAR,
+        external_trace_path,
+        is_external,
+    )
+
+    for name in args.programs or ():
+        if not is_external(name):
+            continue
+        try:
+            path = external_trace_path(name, args.trace_dir)
+        except ValueError as exc:
+            print(f"ingest: {exc}")
+            raise SystemExit(2) from None
+        if not os.path.exists(path):
+            print(
+                f"ingest: no stored trace for {name} (expected "
+                f"{path}); ingest it with 'python -m repro.harness "
+                f"ingest --trace FILE' or point {EXTERNAL_DIR_ENV_VAR} "
+                f"at the store that has it"
+            )
+            raise SystemExit(2)
+
+
+def _run_ingest(args: argparse.Namespace) -> int:
+    """``ingest`` subcommand: import external traces into the corpus.
+
+    Each ``--trace`` file is parsed, normalised, digest-named and
+    stored; the printed ``external:<sha256>`` keys are accepted
+    anywhere a program name is — ``--programs``, service job specs,
+    ``replay`` cells (docs/TRACES.md)."""
+    names = _ingest_traces(args)
+    print(
+        f"\n{len(names)} trace(s) ready; replay with\n"
+        f"  python -m repro.harness replay --programs "
+        + " ".join(names)
+    )
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """``serve`` subcommand: start the simulation service HTTP API.
 
@@ -1066,6 +1216,8 @@ def _validate_args(
             )
         if not args.exports and args.store is None:
             parser.error("analyze requires --exports DIR... and/or --store")
+    if args.experiment == "ingest" and not args.trace:
+        parser.error("ingest requires at least one --trace FILE")
     if args.experiment == "store":
         if args.subaction is None:
             args.subaction = "stats"
@@ -1125,6 +1277,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     """Route the parsed arguments to the right subcommand body."""
+    if args.trace_dir is not None:
+        # corpus resolution (and forked pool workers) find the store
+        # through the environment, so an explicit --trace-dir must be
+        # exported before any cell runs
+        from repro.workloads.ingest import EXTERNAL_DIR_ENV_VAR
+
+        os.environ[EXTERNAL_DIR_ENV_VAR] = args.trace_dir
+    if args.experiment == "ingest":
+        return _run_ingest(args)
+    if args.trace:
+        # --trace alongside an experiment: ingest first, then run the
+        # experiment with the ingested keys joining the roster
+        names = _ingest_traces(args)
+        args.programs = (args.programs or []) + names
+    _check_external_programs(args)
     if args.experiment == "list":
         return _list_experiments(args)
     if args.experiment == "bench":

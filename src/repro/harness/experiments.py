@@ -1542,6 +1542,116 @@ def context_switch(
     ).run()
 
 
+# ---------------------------------------------------------------------------
+# Replay — compact sweep for external traces & modern server profiles
+# ---------------------------------------------------------------------------
+
+#: the replay roster: four equal-cache configurations spanning the
+#: paper's design space (no predictor, capacity-pressed BTB, the
+#: NLS-table, and the coupled BTB the paper argues against)
+REPLAY_ROSTER: Tuple[Tuple[str, ArchitectureConfig], ...] = (
+    ("fall-through", ArchitectureConfig(frontend="fall-through", cache_kb=16)),
+    (
+        "btb-256-4w",
+        ArchitectureConfig(frontend="btb", entries=256, btb_assoc=4, cache_kb=16),
+    ),
+    (
+        "nls-table-1024",
+        ArchitectureConfig(frontend="nls-table", entries=1024, cache_kb=16),
+    ),
+    (
+        "coupled-btb-256-4w",
+        ArchitectureConfig(
+            frontend="coupled-btb", entries=256, btb_assoc=4, cache_kb=16
+        ),
+    ),
+)
+
+
+def _replay_plan(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> ExperimentPlan:
+    """Compact 4-configuration sweep per workload (docs/TRACES.md).
+
+    Built for traces that are not part of the paper's roster: ingested
+    external traces (``external:<sha256>`` program names, via the
+    CLI's ``--trace``) and the modern-server profiles.  Defaults to
+    the two server profiles when no programs are given.
+    """
+    from repro.workloads.profiles import server_programs
+
+    program_names = (
+        list(programs) if programs is not None else list(server_programs())
+    )
+    groups: List[Tuple[str, str, Tuple[RunRequest, ...]]] = [
+        (
+            key,
+            config.label(),
+            _cells(config, program_names, instructions, warmup),
+        )
+        for key, config in REPLAY_ROSTER
+    ]
+
+    def finish(reports: ReportMap) -> ExperimentResult:
+        """Render this experiment's cell reports into its result."""
+        rows: List[Tuple[str, ...]] = []
+        data: Dict[str, Dict[str, float]] = {}
+        for key, _, cells in groups:
+            per_program: Dict[str, float] = {}
+            for cell in cells:
+                report = reports[cell]
+                display = (
+                    cell.program
+                    if len(cell.program) <= 24
+                    else cell.program[:21] + "..."
+                )
+                rows.append(
+                    (
+                        display,
+                        key,
+                        f"{report.pct_misfetched:.2f}",
+                        f"{report.pct_mispredicted:.2f}",
+                        f"{report.bep:.3f}",
+                        f"{report.icache_miss_rate * 100:.2f}%",
+                        f"{report.cpi:.4f}",
+                    )
+                )
+                per_program[cell.program] = report.bep
+            data[key] = per_program
+        text = format_table(
+            ["program", "config", "%MfB", "%MpB", "BEP", "miss", "CPI"], rows
+        )
+        return ExperimentResult(
+            name="replay",
+            title="Replay: compact sweep over external/modern workloads",
+            text=text,
+            data=data,
+        )
+
+    cells = tuple(cell for _, _, group in groups for cell in group)
+    return ExperimentPlan(name="replay", cells=cells, finish=finish)
+
+
+def replay(
+    programs: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: float = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Compact 4-configuration sweep over external traces or the
+    modern-server profiles (the ``--trace`` landing experiment).
+
+    Per workload: fall-through (no predictor), a capacity-pressed
+    256-entry 4-way BTB, the paper's 1024-entry NLS-table and the
+    coupled 256-entry BTB, all at 16 K of instruction cache — enough
+    to place a new trace on the paper's BEP map at a glance.
+    """
+    return _replay_plan(
+        programs=programs, instructions=instructions, warmup=warmup
+    ).run()
+
+
 #: declarative registry: one spec per table/figure (used by the CLI's
 #: ``list`` subcommand and the cross-experiment parallel executor)
 SPECS: Dict[str, ExperimentSpec] = {
@@ -1631,6 +1741,11 @@ SPECS: Dict[str, ExperimentSpec] = {
             "BEP under periodic full state flushes",
             _context_switch_plan,
         ),
+        ExperimentSpec(
+            "replay",
+            "compact sweep over external/modern workloads",
+            _replay_plan,
+        ),
     )
 }
 
@@ -1658,4 +1773,5 @@ EXPERIMENTS = {
     "ras-depth": ras_depth,
     "line-size": line_size,
     "context-switch": context_switch,
+    "replay": replay,
 }

@@ -145,7 +145,6 @@ def parse_job_spec(payload: Any) -> ParsedJobSpec:
     non-empty list of explicit cell dicts) must be present."""
     from repro.harness.experiments import SPECS
     from repro.harness.spec import with_engine
-    from repro.workloads.profiles import paper_programs
 
     if not isinstance(payload, Mapping):
         raise JobSpecError("job spec must be a JSON object")
@@ -184,8 +183,18 @@ def parse_job_spec(payload: Any) -> ParsedJobSpec:
             programs = payload["programs"]
             if not isinstance(programs, (list, tuple)) or not programs:
                 raise JobSpecError("'programs' must be a non-empty list")
-            known = set(paper_programs())
-            bad = sorted(set(map(str, programs)) - known)
+            # any registered profile (paper + server) plus ingested
+            # external:<sha256> trace keys (docs/TRACES.md) — the
+            # worker resolves the key through the external-trace store
+            from repro.workloads.ingest import is_external
+            from repro.workloads.profiles import PROFILES
+
+            known = set(PROFILES)
+            bad = sorted(
+                name
+                for name in set(map(str, programs))
+                if name not in known and not is_external(name)
+            )
             if bad:
                 raise JobSpecError(f"unknown program(s): {', '.join(bad)}")
             knobs["programs"] = [str(program) for program in programs]

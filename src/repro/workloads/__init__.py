@@ -13,9 +13,15 @@ control-flow traces from generated programs:
   seeded RNG, emitting a block-compressed :class:`Trace`;
 * :mod:`repro.workloads.profiles` — six profiles calibrated to the
   per-program columns of Table 1 (branch density, type mix, taken
-  rate, dynamic-site concentration, code footprint);
+  rate, dynamic-site concentration, code footprint), plus two
+  modern-server profiles (``server-frontend``, ``server-leaf``) with
+  multi-MB footprints and flat site popularity (docs/WORKLOADS.md);
 * :mod:`repro.workloads.stats` — re-measures the Table 1 attributes
-  from a trace so the calibration is auditable.
+  from a trace so the calibration is auditable;
+* :mod:`repro.workloads.formats` / :mod:`repro.workloads.ingest` —
+  external-trace ingestion: ChampSim/CBP-style readers normalising
+  recorded branch streams into canonical traces named by content
+  digest (``external:<sha256>``, docs/TRACES.md).
 
 Traces are *consistent*: instruction runs fall through sequentially,
 taken branches land exactly on the next event's start address, calls
@@ -41,8 +47,10 @@ from repro.workloads.profiles import (
     PROFILES,
     get_profile,
     paper_programs,
+    server_programs,
 )
 from repro.workloads.generator import build_program
+from repro.workloads.ingest import ingest_and_store, is_external, load_external
 from repro.workloads.interpreter import execute
 from repro.workloads.stats import TraceAttributes, TraceFootprint, footprint, measure
 from repro.workloads.corpus import generate_trace, clear_trace_cache
@@ -64,6 +72,10 @@ __all__ = [
     "PROFILES",
     "get_profile",
     "paper_programs",
+    "server_programs",
+    "ingest_and_store",
+    "is_external",
+    "load_external",
     "build_program",
     "execute",
     "TraceAttributes",

@@ -15,7 +15,7 @@ from typing import List, Optional
 
 from repro.workloads.corpus import generate_trace
 from repro.workloads.generator import build_program
-from repro.workloads.profiles import get_profile, paper_programs
+from repro.workloads.profiles import PROFILES, get_profile
 from repro.workloads.stats import TraceAttributes, measure
 
 
@@ -24,7 +24,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.workloads",
         description="Generate and inspect the calibrated synthetic traces.",
     )
-    parser.add_argument("program", choices=list(paper_programs()))
+    parser.add_argument("program", choices=sorted(PROFILES))
     parser.add_argument(
         "--instructions",
         type=int,

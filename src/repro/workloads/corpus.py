@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import hashlib
 import os
+import warnings
 from typing import Dict, Optional, Tuple
 
 from repro.telemetry.core import get_registry
 from repro.testing import faults as faults_module
 from repro.workloads.generator import build_program
+from repro.workloads.ingest import is_external, load_external
 from repro.workloads.interpreter import execute
 from repro.workloads.profiles import get_profile
 from repro.workloads.trace import Trace
@@ -81,7 +83,15 @@ def trace_key(
     and the budget is scaled by ``REPRO_TRACE_SCALE``, so two requests
     that would generate the same trace always map to the same key —
     and two that would not, never do.
+
+    Ingested ``external:<sha256>`` traces (docs/TRACES.md) are
+    content-addressed immutable inputs: *instructions*, *seed* and the
+    trace scale do not apply to them (a replay is always the full
+    recorded stream), so their key is ``(name, 0, 0, layout)`` — the
+    digest alone carries the identity.
     """
+    if is_external(name):
+        return (name, 0, 0, layout)
     profile = get_profile(name)
     if instructions is None:
         instructions = profile.default_instructions
@@ -173,6 +183,13 @@ def _load_trace_file(directory: str, key: TraceKey) -> Optional[Trace]:
     if corrupt:
         registry.counter("corpus.trace_file_corrupt").add()
         registry.counter("corpus.trace_file_evictions").add()
+        warnings.warn(
+            f"evicting cached trace {path}: SHA-256 checksum "
+            f"validation failed (sidecar {_checksum_path(path)}); the "
+            f"trace will be regenerated",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         _evict_trace_file(path)
         return None
     registry.counter("corpus.trace_file_hits").add()
@@ -191,6 +208,12 @@ def generate_trace(
     either way it is multiplied by ``REPRO_TRACE_SCALE``.  With
     ``REPRO_TRACE_CACHE_DIR`` set, traces also persist on disk behind
     a checksum: corrupted files are evicted and regenerated.
+
+    ``external:<sha256>`` names resolve through the content-addressed
+    external-trace store instead of the synthetic generator (see
+    :mod:`repro.workloads.ingest`); the in-process memo tier is shared,
+    so sweeps mixing synthetic and ingested programs batch the same
+    way.
     """
     key = trace_key(name, instructions=instructions, seed=seed, layout=layout)
     registry = get_registry()
@@ -199,6 +222,10 @@ def generate_trace(
         registry.counter("corpus.trace_cache_hits").add()
         return trace
     registry.counter("corpus.trace_cache_misses").add()
+    if is_external(name):
+        trace = load_external(name)
+        _CACHE[key] = trace
+        return trace
     directory = trace_cache_dir()
     if directory is not None:
         trace = _load_trace_file(directory, key)

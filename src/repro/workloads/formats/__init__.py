@@ -1,0 +1,172 @@
+"""External branch-trace formats (docs/TRACES.md).
+
+This package is the documented trace-format layer of the ingestion
+pipeline: one module per accepted external format, each exposing the
+same two-function surface —
+
+* ``read(path_or_stream, source=...)`` — a **streaming** parser
+  yielding :class:`BranchRecord` values one at a time (never holding
+  the whole file), raising :class:`TraceFormatError` with an exact
+  record position on the first malformed byte/line;
+* ``write(trace, path)`` — the inverse serialiser, used by the
+  round-trip property tests and for exporting synthetic traces to
+  external tools.
+
+Registered formats (``FORMATS``):
+
+* ``champsim`` — :mod:`repro.workloads.formats.champsim`, a binary
+  ChampSim-style branch-record stream (fixed 18-byte little-endian
+  records using ChampSim's branch-type codes, optional ``CSBT``
+  header carrying the entry PC);
+* ``cbp`` — :mod:`repro.workloads.formats.cbp`, a CBP-style text
+  format (one ``PC KIND TARGET TAKEN`` record per line, ``#``
+  comments, optional ``# entry`` directive).
+
+Both readers are transparently gzip/xz-aware: :func:`open_stream`
+sniffs the compression magic (not the file name), so ``trace.gz`` and
+``trace.xz`` ingest exactly like their uncompressed forms.
+:func:`detect_format` sniffs the *format* the same way — the ``CSBT``
+magic or a plausible binary record stream means ``champsim``,
+anything decodable as text means ``cbp``.
+
+The grammar of each format, the normalisation rules that turn record
+streams into the canonical block-compressed
+:class:`~repro.workloads.trace.Trace`, and the error taxonomy are
+specified normatively in docs/TRACES.md; the parsers here implement
+that spec and the spec documents the parsers.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import lzma
+from dataclasses import dataclass
+from typing import BinaryIO, Dict, Iterator, Union
+
+from repro.isa.branches import BranchKind
+
+#: magic prefixes of the supported stream compressors
+_GZIP_MAGIC = b"\x1f\x8b"
+_XZ_MAGIC = b"\xfd7zXZ\x00"
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One normalised external branch record.
+
+    The least common denominator of ChampSim- and CBP-style traces:
+    the branch instruction's address, its class, the (taken-)target
+    and the executed direction.  ``position`` is the human-readable
+    location of the record in its source file (``line 12`` /
+    ``record 3 (byte offset 70)``) — every validation error downstream
+    of the parser quotes it verbatim.
+    """
+
+    pc: int
+    kind: BranchKind
+    target: int
+    taken: bool
+    position: str
+
+
+class TraceFormatError(ValueError):
+    """An external trace file failed parsing or normalisation.
+
+    Carries the source name, the exact record position, and the
+    reason; the rendered message is always the one-line
+    ``<source>: <position>: <reason>`` form docs/TRACES.md specifies,
+    which the CLI surfaces without a traceback.
+    """
+
+    def __init__(self, source: str, position: str, reason: str) -> None:
+        super().__init__(f"{source}: {position}: {reason}")
+        self.source = source
+        self.position = position
+        self.reason = reason
+
+
+def open_stream(path_or_stream: Union[str, BinaryIO]) -> BinaryIO:
+    """Open *path_or_stream* as a binary stream, decompressing if needed.
+
+    Compression is detected from the stream's **magic bytes** (gzip
+    ``1f 8b``, xz ``fd 37 7a 58 5a 00``), never from the file name,
+    so renamed or extension-less files still ingest.  The returned
+    stream reads the decompressed bytes lazily — multi-hundred-MB
+    traces never materialise in memory.
+    """
+    if isinstance(path_or_stream, str):
+        raw: BinaryIO = open(path_or_stream, "rb")
+    else:
+        raw = path_or_stream
+    buffered = io.BufferedReader(raw)  # type: ignore[arg-type]
+    magic = buffered.peek(len(_XZ_MAGIC))[: len(_XZ_MAGIC)]
+    if magic.startswith(_GZIP_MAGIC):
+        return io.BufferedReader(gzip.GzipFile(fileobj=buffered))  # type: ignore[arg-type]
+    if magic.startswith(_XZ_MAGIC):
+        return io.BufferedReader(lzma.LZMAFile(buffered))  # type: ignore[arg-type]
+    return buffered
+
+
+def detect_format(path: str) -> str:
+    """Sniff which registered format *path* holds.
+
+    Detection order (docs/TRACES.md): a ``CSBT`` magic (after
+    transparent decompression) is ``champsim``; a decompressed size
+    that is an exact multiple of the champsim record width whose first
+    record carries a valid type/taken byte pair is ``champsim``;
+    anything else is tried as ``cbp`` text.  Ambiguity is resolved
+    toward text, which fails loudly (with a position) if it was wrong.
+    """
+    from repro.workloads.formats import champsim
+
+    with open_stream(path) as stream:
+        head = stream.read(champsim.RECORD_BYTES)
+    if head.startswith(champsim.MAGIC):
+        return "champsim"
+    if len(head) == champsim.RECORD_BYTES and champsim.plausible_record(head):
+        return "champsim"
+    return "cbp"
+
+
+def get_format(name: str):
+    """Look up a registered format module by name."""
+    try:
+        return FORMATS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {name!r}; available: {sorted(FORMATS)}"
+        ) from None
+
+
+def read_records(
+    path: str, fmt: str = "auto", source: str = ""
+) -> Iterator[BranchRecord]:
+    """Stream the :class:`BranchRecord` values of *path*.
+
+    ``fmt='auto'`` delegates to :func:`detect_format`; *source* (for
+    error messages) defaults to the path itself.
+    """
+    if fmt == "auto":
+        fmt = detect_format(path)
+    module = get_format(fmt)
+    return module.read(path, source=source or path)
+
+
+from repro.workloads.formats import cbp, champsim  # noqa: E402
+
+#: registry of format modules, keyed by the names the CLI accepts
+FORMATS: Dict[str, object] = {
+    "champsim": champsim,
+    "cbp": cbp,
+}
+
+__all__ = [
+    "BranchRecord",
+    "TraceFormatError",
+    "FORMATS",
+    "open_stream",
+    "detect_format",
+    "get_format",
+    "read_records",
+]

@@ -1,0 +1,180 @@
+"""CBP-style text branch-trace format.
+
+A line-oriented UTF-8 text format modelled on the Championship Branch
+Prediction (CBP) workload distributions: one executed-branch record
+per line, whitespace-separated —
+
+    PC KIND TARGET TAKEN
+
+* ``PC`` / ``TARGET`` — non-negative integers, decimal or ``0x`` hex
+  (parsed with base auto-detection), 4-byte aligned;
+* ``KIND`` — one of ``CND`` (conditional), ``JMP`` (direct
+  unconditional), ``CALL``, ``RET``, ``IND`` (indirect jump),
+  case-insensitive;
+* ``TAKEN`` — ``T``/``1`` (taken) or ``N``/``0`` (not taken).
+
+Blank lines are skipped.  Lines starting with ``#`` are comments,
+with one recognised directive: ``# entry 0xADDR`` before the first
+record pins the address the traced program entered at — the start of
+the first basic block.  Without it, ingestion infers the entry as the
+first record's PC (a single-instruction first block).  The full
+grammar and error taxonomy live in docs/TRACES.md.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO, Iterator, Union
+
+from repro.isa.branches import BranchKind
+from repro.workloads.trace import Trace
+
+#: mapping between the textual kind mnemonics and canonical kinds
+KIND_NAMES = {
+    "CND": BranchKind.CONDITIONAL,
+    "JMP": BranchKind.UNCONDITIONAL,
+    "CALL": BranchKind.CALL,
+    "RET": BranchKind.RETURN,
+    "IND": BranchKind.INDIRECT,
+}
+_KIND_MNEMONICS = {kind: name for name, kind in KIND_NAMES.items()}
+
+#: directive pinning the traced program's entry address
+ENTRY_DIRECTIVE = "# entry"
+
+
+def _error(source: str, line_no: int, reason: str):
+    from repro.workloads.formats import TraceFormatError
+
+    raise TraceFormatError(source, f"line {line_no}", reason)
+
+
+def _parse_int(text: str, source: str, line_no: int, field: str) -> int:
+    try:
+        value = int(text, 0)
+    except ValueError:
+        _error(source, line_no, f"{field} {text!r} is not an integer")
+    if value < 0:
+        _error(source, line_no, f"{field} {text!r} is negative")
+    return value
+
+
+def read(
+    path_or_stream: Union[str, BinaryIO], source: str = ""
+) -> Iterator:
+    """Stream ``BranchRecord`` values from a CBP-style text trace.
+
+    Yields an ``('entry', address)``-style sentinel first when the
+    file carries an ``# entry`` directive — concretely, a
+    :class:`~repro.workloads.formats.BranchRecord` is yielded per
+    data line, and the entry address (or ``None``) is exposed via the
+    generator's first yielded item being a tuple ``("entry", addr)``.
+    Malformed lines raise ``TraceFormatError`` naming the 1-based
+    line number.
+    """
+    from repro.workloads.formats import BranchRecord, open_stream
+
+    if isinstance(path_or_stream, str):
+        source = source or path_or_stream
+    source = source or "<stream>"
+    stream = open_stream(path_or_stream)
+    text = io.TextIOWrapper(stream, encoding="utf-8", errors="strict")
+    entry_seen = False
+    records_seen = False
+    try:
+        for line_no, raw_line in enumerate(text, start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                lowered = line.lower()
+                if lowered.startswith(ENTRY_DIRECTIVE):
+                    if records_seen:
+                        _error(
+                            source,
+                            line_no,
+                            "entry directive must precede the first record",
+                        )
+                    if entry_seen:
+                        _error(source, line_no, "duplicate entry directive")
+                    parts = line.split()
+                    if len(parts) != 3:
+                        _error(
+                            source,
+                            line_no,
+                            "entry directive needs exactly one address",
+                        )
+                    entry = _parse_int(parts[2], source, line_no, "entry address")
+                    entry_seen = True
+                    yield ("entry", entry)
+                continue
+            fields = line.split()
+            if len(fields) != 4:
+                _error(
+                    source,
+                    line_no,
+                    f"expected 4 fields (PC KIND TARGET TAKEN), got {len(fields)}",
+                )
+            pc = _parse_int(fields[0], source, line_no, "PC")
+            kind_name = fields[1].upper()
+            if kind_name not in KIND_NAMES:
+                _error(
+                    source,
+                    line_no,
+                    f"unknown branch kind {fields[1]!r}; "
+                    f"expected one of {sorted(KIND_NAMES)}",
+                )
+            target = _parse_int(fields[2], source, line_no, "target")
+            taken_name = fields[3].upper()
+            if taken_name in ("T", "1"):
+                taken = True
+            elif taken_name in ("N", "0"):
+                taken = False
+            else:
+                _error(
+                    source,
+                    line_no,
+                    f"taken flag {fields[3]!r} must be one of T, N, 1, 0",
+                )
+            records_seen = True
+            yield BranchRecord(
+                pc=pc,
+                kind=KIND_NAMES[kind_name],
+                target=target,
+                taken=taken,
+                position=f"line {line_no}",
+            )
+    except UnicodeDecodeError as exc:
+        _error(source, f"byte offset {exc.start}", "file is not valid UTF-8 text")
+    finally:
+        # the wrapper may already be closed when an abandoned
+        # generator is finalised by the garbage collector
+        try:
+            text.detach()
+        except ValueError:
+            pass
+        stream.close()
+
+
+def write(trace: Trace, path: str) -> None:
+    """Serialise *trace* to a CBP-style text file at *path*.
+
+    Emits a version comment, an ``# entry`` directive pinning the
+    first block's start (so ingestion reconstructs the exact block
+    structure), and one record per block-terminating branch.  The
+    synthetic interpreter never emits ``NOT_A_BRANCH`` events, so
+    every block maps to exactly one line.
+    """
+    from repro.workloads.trace import INSTRUCTION_BYTES
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro-cbp v1\n")
+        if trace.starts:
+            handle.write(f"{ENTRY_DIRECTIVE} {hex(trace.starts[0])}\n")
+        for start, count, kind, taken, target in zip(
+            trace.starts, trace.counts, trace.kinds, trace.takens, trace.targets
+        ):
+            pc = start + (count - 1) * INSTRUCTION_BYTES
+            mnemonic = _KIND_MNEMONICS[BranchKind(kind)]
+            flag = "T" if taken else "N"
+            handle.write(f"{pc:#x} {mnemonic} {target:#x} {flag}\n")

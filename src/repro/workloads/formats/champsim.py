@@ -1,0 +1,190 @@
+"""ChampSim-style binary branch-trace format.
+
+A fixed-width little-endian binary stream of executed-branch records
+modelled on ChampSim's branch-trace representation: each record is
+``RECORD_BYTES`` (18) bytes, struct format ``<QBBQ`` —
+
+    pc      u64   address of the branch instruction
+    type    u8    ChampSim branch-type code (see ``TYPE_CODES``)
+    taken   u8    0 or 1
+    target  u64   branch target address
+
+ChampSim branch-type codes map onto the canonical
+:class:`~repro.isa.branches.BranchKind` as::
+
+    1 BRANCH_DIRECT_JUMP   -> UNCONDITIONAL
+    2 BRANCH_INDIRECT      -> INDIRECT
+    3 BRANCH_CONDITIONAL   -> CONDITIONAL
+    4 BRANCH_DIRECT_CALL   -> CALL
+    5 BRANCH_INDIRECT_CALL -> CALL
+    6 BRANCH_RETURN        -> RETURN
+
+Code 0 (``NOT_BRANCH``) is rejected: this format carries only
+block-terminating branch records, matching what the repro's engines
+replay.  An optional 16-byte header — magic ``CSBT``, u32 version
+(currently 1), u64 entry PC, all little-endian — pins the address the
+traced program entered at; headerless files infer the entry as the
+first record's PC.  Grammar and error taxonomy: docs/TRACES.md.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator, Union
+
+from repro.isa.branches import BranchKind
+from repro.workloads.trace import Trace
+
+#: header magic for traces that carry an explicit entry PC
+MAGIC = b"CSBT"
+#: header layout: magic, u32 version, u64 entry pc (little-endian)
+HEADER_STRUCT = struct.Struct("<4sIQ")
+HEADER_BYTES = HEADER_STRUCT.size
+#: current (and only) header version
+HEADER_VERSION = 1
+
+#: record layout: pc u64, type u8, taken u8, target u64 (little-endian)
+RECORD_STRUCT = struct.Struct("<QBBQ")
+RECORD_BYTES = RECORD_STRUCT.size
+
+#: ChampSim branch-type code -> canonical branch kind
+TYPE_CODES = {
+    1: BranchKind.UNCONDITIONAL,  # BRANCH_DIRECT_JUMP
+    2: BranchKind.INDIRECT,  # BRANCH_INDIRECT
+    3: BranchKind.CONDITIONAL,  # BRANCH_CONDITIONAL
+    4: BranchKind.CALL,  # BRANCH_DIRECT_CALL
+    5: BranchKind.CALL,  # BRANCH_INDIRECT_CALL
+    6: BranchKind.RETURN,  # BRANCH_RETURN
+}
+#: canonical kind -> the code the writer emits (calls always direct)
+_WRITE_CODES = {
+    BranchKind.UNCONDITIONAL: 1,
+    BranchKind.INDIRECT: 2,
+    BranchKind.CONDITIONAL: 3,
+    BranchKind.CALL: 4,
+    BranchKind.RETURN: 6,
+}
+
+
+def plausible_record(chunk: bytes) -> bool:
+    """Heuristic format sniff: could *chunk* be one valid record?
+
+    Used by auto-detection for headerless files: the type byte must
+    be a known ChampSim code and the taken byte 0/1.  Text files
+    essentially never satisfy both at these offsets.
+    """
+    if len(chunk) != RECORD_BYTES:
+        return False
+    _, type_code, taken, _ = RECORD_STRUCT.unpack(chunk)
+    return type_code in TYPE_CODES and taken in (0, 1)
+
+
+def _error(source: str, position: str, reason: str):
+    from repro.workloads.formats import TraceFormatError
+
+    raise TraceFormatError(source, position, reason)
+
+
+def read(
+    path_or_stream: Union[str, BinaryIO], source: str = ""
+) -> Iterator:
+    """Stream ``BranchRecord`` values from a ChampSim-style binary trace.
+
+    When the file opens with a ``CSBT`` header, the first yielded
+    item is the sentinel tuple ``("entry", pc)``; every subsequent
+    item is a :class:`~repro.workloads.formats.BranchRecord`.
+    Truncated records, unknown type codes, and bad taken bytes raise
+    ``TraceFormatError`` naming the 0-based record index and its byte
+    offset in the (decompressed) stream.
+    """
+    from repro.workloads.formats import BranchRecord, open_stream
+
+    if isinstance(path_or_stream, str):
+        source = source or path_or_stream
+    source = source or "<stream>"
+    stream = open_stream(path_or_stream)
+    try:
+        offset = 0
+        head = stream.read(len(MAGIC))
+        if head == MAGIC:
+            rest = stream.read(HEADER_BYTES - len(MAGIC))
+            if len(rest) != HEADER_BYTES - len(MAGIC):
+                _error(source, "header", "truncated CSBT header")
+            _, version, entry = HEADER_STRUCT.unpack(MAGIC + rest)
+            if version != HEADER_VERSION:
+                _error(
+                    source,
+                    "header",
+                    f"unsupported CSBT header version {version} "
+                    f"(supported: {HEADER_VERSION})",
+                )
+            offset = HEADER_BYTES
+            yield ("entry", entry)
+            head = b""
+        index = 0
+        while True:
+            chunk = head + stream.read(RECORD_BYTES - len(head))
+            head = b""
+            if not chunk:
+                return
+            if len(chunk) < RECORD_BYTES:
+                _error(
+                    source,
+                    f"record {index} (byte offset {offset})",
+                    f"truncated record: got {len(chunk)} of "
+                    f"{RECORD_BYTES} bytes",
+                )
+            pc, type_code, taken_byte, target = RECORD_STRUCT.unpack(chunk)
+            position = f"record {index} (byte offset {offset})"
+            if type_code not in TYPE_CODES:
+                if type_code == 0:
+                    _error(
+                        source,
+                        position,
+                        "type code 0 (NOT_BRANCH): this reader accepts "
+                        "branch-record streams only",
+                    )
+                _error(
+                    source,
+                    position,
+                    f"unknown ChampSim branch-type code {type_code}; "
+                    f"expected one of {sorted(TYPE_CODES)}",
+                )
+            if taken_byte not in (0, 1):
+                _error(
+                    source, position, f"taken byte must be 0 or 1, got {taken_byte}"
+                )
+            yield BranchRecord(
+                pc=pc,
+                kind=TYPE_CODES[type_code],
+                target=target,
+                taken=bool(taken_byte),
+                position=position,
+            )
+            index += 1
+            offset += RECORD_BYTES
+    finally:
+        stream.close()
+
+
+def write(trace: Trace, path: str) -> None:
+    """Serialise *trace* to a ChampSim-style binary file at *path*.
+
+    Always emits the ``CSBT`` header carrying the first block's start
+    address so that ingestion reconstructs the exact block structure
+    (headerless export would lose the length of the first block).
+    """
+    from repro.workloads.trace import INSTRUCTION_BYTES
+
+    with open(path, "wb") as handle:
+        entry = trace.starts[0] if trace.starts else 0
+        handle.write(HEADER_STRUCT.pack(MAGIC, HEADER_VERSION, entry))
+        for start, count, kind, taken, target in zip(
+            trace.starts, trace.counts, trace.kinds, trace.takens, trace.targets
+        ):
+            pc = start + (count - 1) * INSTRUCTION_BYTES
+            handle.write(
+                RECORD_STRUCT.pack(
+                    pc, _WRITE_CODES[BranchKind(kind)], int(taken), target
+                )
+            )

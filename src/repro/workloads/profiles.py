@@ -327,10 +327,88 @@ GROFF = WorkloadProfile(
     ),
 )
 
+# ---------------------------------------------------------------------------
+# Modern-server profiles (docs/WORKLOADS.md, docs/TRACES.md).
+#
+# These are NOT paper programs (``paper=None``): they model the
+# multi-MB instruction footprints and flat site-popularity skew of
+# today's server binaries ("Micro BTB"; "Fetch-Directed Instruction
+# Prefetching Revisited" — PAPERS.md), regimes the 1995 corpus never
+# reaches.  Calibration targets, checked by tests/ingest_smoke.py via
+# the attribution layer: code footprint > 2 MB, flat concentration
+# (Q-90 in the thousands of sites), and fetch-penalty mass majority on
+# capacity causes (btb-miss + nls-displaced) rather than direction
+# prediction.
+# ---------------------------------------------------------------------------
+
+SERVER_FRONTEND = WorkloadProfile(
+    name="server-frontend",
+    description=(
+        "modern server front end (RPC handling, protocol translation): "
+        "multi-MB flat code footprint, thousands of lukewarm branch "
+        "sites, BTB/NLS capacity pressure dominates the fetch penalty"
+    ),
+    n_procedures=2600,
+    blocks_per_procedure=(35, 100),
+    mean_block_instructions=8.0,
+    main_call_sites=6000,
+    zipf_alpha=0.35,
+    frac_conditional=0.58,
+    frac_loop=0.10,
+    frac_unconditional=0.08,
+    frac_call=0.19,
+    frac_indirect=0.05,
+    taken_bias_classes=_bias(
+        (0.46, 0.002, 0.02), (0.42, 0.98, 0.998), (0.08, 0.30, 0.70, True), (0.04, 0.30, 0.70, False, 0.85)
+    ),
+    loop_iterations_log_mean=0.6,
+    loop_iterations_log_sigma=0.6,
+    indirect_fanout=(3, 14),
+    indirect_repeat=0.55,
+    leaf_fraction=0.25,
+    leaf_call_bias=0.90,
+    phase_run=(1, 3),
+    default_instructions=6_000_000,
+    paper=None,
+)
+
+SERVER_LEAF = WorkloadProfile(
+    name="server-leaf",
+    description=(
+        "modern server leaf service (storage/cache node): multi-MB "
+        "footprint with deep call/return chains and virtual dispatch; "
+        "call-heavy break mix stresses BTB capacity and NLS "
+        "displacement at once"
+    ),
+    n_procedures=2400,
+    blocks_per_procedure=(25, 80),
+    mean_block_instructions=7.0,
+    main_call_sites=5000,
+    zipf_alpha=0.45,
+    frac_conditional=0.44,
+    frac_loop=0.08,
+    frac_unconditional=0.09,
+    frac_call=0.30,
+    frac_indirect=0.09,
+    taken_bias_classes=_bias(
+        (0.44, 0.002, 0.02), (0.40, 0.98, 0.998), (0.11, 0.30, 0.70, True), (0.05, 0.30, 0.70, False, 0.85)
+    ),
+    loop_iterations_log_mean=0.6,
+    loop_iterations_log_sigma=0.6,
+    indirect_fanout=(4, 16),
+    indirect_repeat=0.50,
+    leaf_fraction=0.35,
+    leaf_call_bias=0.90,
+    leaf_blocks=(3, 10),
+    phase_run=(2, 6),
+    default_instructions=6_000_000,
+    paper=None,
+)
+
 #: registry of all calibrated profiles, keyed by program name
 PROFILES: Dict[str, WorkloadProfile] = {
     profile.name: profile
-    for profile in (DODUC, ESPRESSO, GCC, LI, CFRONT, GROFF)
+    for profile in (DODUC, ESPRESSO, GCC, LI, CFRONT, GROFF, SERVER_FRONTEND, SERVER_LEAF)
 }
 
 
@@ -347,3 +425,8 @@ def get_profile(name: str) -> WorkloadProfile:
 def paper_programs() -> Tuple[str, ...]:
     """The six program names, in the paper's Table 1 order."""
     return ("doduc", "espresso", "gcc", "li", "cfront", "groff")
+
+
+def server_programs() -> Tuple[str, ...]:
+    """The modern-server profile names (not part of Table 1)."""
+    return ("server-frontend", "server-leaf")

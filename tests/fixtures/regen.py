@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Regenerate the derived trace fixtures from ``demo.cbp``.
+
+``demo.cbp`` is the hand-written source of truth; this script rebuilds
+its siblings deterministically (fixed compression mtime, level):
+
+* ``demo.bt``     — the same control flow in the ChampSim-style binary
+  format (header + 18-byte records, docs/TRACES.md)
+* ``demo.cbp.gz`` — gzip-compressed copy of ``demo.cbp``
+* ``demo.bt.xz``  — xz-compressed copy of ``demo.bt``
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/regen.py
+"""
+
+import gzip
+import lzma
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "..", "src"
+    ),
+)
+
+from repro.workloads.formats import champsim
+from repro.workloads.ingest import ingest_file
+
+
+def main() -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    cbp_path = os.path.join(here, "demo.cbp")
+    bt_path = os.path.join(here, "demo.bt")
+
+    trace = ingest_file(cbp_path, fmt="cbp")
+    champsim.write(trace, bt_path)
+
+    with open(cbp_path, "rb") as handle:
+        text_bytes = handle.read()
+    with open(cbp_path + ".gz", "wb") as handle:
+        with gzip.GzipFile(
+            fileobj=handle, mode="wb", compresslevel=9, mtime=0
+        ) as stream:
+            stream.write(text_bytes)
+
+    with open(bt_path, "rb") as handle:
+        binary_bytes = handle.read()
+    with lzma.open(bt_path + ".xz", "wb", preset=9) as stream:
+        stream.write(binary_bytes)
+
+    print(f"fixtures regenerated from {cbp_path} ({trace.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

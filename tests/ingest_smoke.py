@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""CI ingest smoke: external traces + modern server workloads.
+
+Exercises the docs/TRACES.md pipeline exactly as a user would and
+asserts the three guarantees the ingest layer advertises:
+
+1. **format convergence** — every committed fixture variant
+   (``demo.cbp``, ``demo.cbp.gz``, ``demo.bt``, ``demo.bt.xz``)
+   ingests through ``python -m repro.harness ingest`` to the *same*
+   ``external:<sha256>`` trace key;
+2. **engine equivalence** — a four-cell sweep (the ``replay`` roster)
+   over the ingested trace produces byte-identical checkpoint
+   serialisations under the reference and fast engines;
+3. **modern-workload attribution** — the ``server-frontend`` /
+   ``server-leaf`` profiles put the majority of their penalty mass on
+   frontend-capacity causes (``btb-miss`` + ``nls-displaced``) under
+   the paper-scale ``btb-256-4w`` configuration, with ``btb-miss``
+   the single largest cause.
+
+Run from the repository root (the CI ``ingest-smoke`` job does
+exactly this)::
+
+    PYTHONPATH=src python tests/ingest_smoke.py
+
+Artifacts (ingest keys, equivalence table, per-profile attribution
+shares) land in ``./ingest-artifacts`` (override with
+``INGEST_SMOKE_DIR``) so CI can upload them.
+"""
+
+import dataclasses
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.harness.checkpoint import report_to_dict
+from repro.harness.experiments import REPLAY_ROSTER
+from repro.harness.config import ArchitectureConfig
+from repro.harness.runner import simulate
+from repro.workloads.corpus import generate_trace
+from repro.workloads.ingest import EXTERNAL_DIR_ENV_VAR, load_external
+
+FIXTURES = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "fixtures"
+)
+FIXTURE_VARIANTS = ("demo.cbp", "demo.cbp.gz", "demo.bt", "demo.bt.xz")
+
+#: trace length for the server-profile attribution cells
+SERVER_INSTRUCTIONS = 150_000
+
+#: the capacity causes the server profiles must concentrate mass on
+CAPACITY_CAUSES = ("btb-miss", "nls-displaced")
+
+
+def fail(message: str) -> None:
+    print(f"INGEST-SMOKE FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(args, env):
+    """Run ``python -m repro.harness`` and return captured stdout."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.harness", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        fail(
+            f"CLI {' '.join(args)} exited {result.returncode}:\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+    return result.stdout
+
+
+def main() -> None:
+    workdir = os.path.abspath(
+        os.environ.get("INGEST_SMOKE_DIR", "ingest-artifacts")
+    )
+    shutil.rmtree(workdir, ignore_errors=True)
+    store_dir = os.path.join(workdir, "external-traces")
+    os.makedirs(store_dir, exist_ok=True)
+
+    env = dict(os.environ)
+    env[EXTERNAL_DIR_ENV_VAR] = store_dir
+    env.pop("REPRO_TRACE_SCALE", None)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    os.environ[EXTERNAL_DIR_ENV_VAR] = store_dir
+    os.environ.pop("REPRO_TRACE_SCALE", None)
+
+    # 1. every fixture variant must converge on one trace key
+    keys = {}
+    for name in FIXTURE_VARIANTS:
+        out = run_cli(
+            ["ingest", "--trace", os.path.join(FIXTURES, name)], env
+        )
+        match = re.search(r"external:[0-9a-f]{64}", out)
+        if not match:
+            fail(f"no trace key in ingest output for {name}:\n{out}")
+        keys[name] = match.group(0)
+    if len(set(keys.values())) != 1:
+        fail(f"fixture variants disagree on the trace key: {keys}")
+    key = keys["demo.cbp"]
+    print(f"ingest-smoke: all {len(keys)} variants -> {key}")
+    with open(os.path.join(workdir, "INGEST.json"), "w") as handle:
+        json.dump(keys, handle, indent=2, sort_keys=True)
+
+    # 2. replay roster: reference vs fast must serialise identically
+    trace = load_external(key)
+    equivalence = []
+    for config_key, config in REPLAY_ROSTER:
+        ref_report = simulate(config, trace)
+        fast_report = simulate(
+            dataclasses.replace(config, engine="fast"), trace
+        )
+        ref_bytes = json.dumps(report_to_dict(ref_report), sort_keys=True)
+        fast_bytes = json.dumps(report_to_dict(fast_report), sort_keys=True)
+        identical = ref_bytes == fast_bytes
+        equivalence.append(
+            {
+                "config": config_key,
+                "bep": round(ref_report.bep, 4),
+                "identical": identical,
+            }
+        )
+        if not identical:
+            fail(
+                f"engines disagree on {config_key} over {key}:\n"
+                f"reference: {ref_bytes}\nfast:      {fast_bytes}"
+            )
+        print(f"ingest-smoke: {config_key:<20} byte-identical engines")
+    with open(
+        os.path.join(workdir, "REPLAY_EQUIVALENCE.json"), "w"
+    ) as handle:
+        json.dump(
+            {"trace": key, "cells": equivalence},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+
+    # 2b. the documented CLI sweep path over a raw trace file
+    out = run_cli(
+        [
+            "replay",
+            "--trace",
+            os.path.join(FIXTURES, "demo.bt.xz"),
+            "--engine",
+            "fast",
+        ],
+        env,
+    )
+    if "fall-through" not in out:
+        fail(f"replay table missing the roster rows:\n{out}")
+
+    # 3. server profiles: capacity causes must carry the majority
+    attribution = {}
+    config = ArchitectureConfig(
+        frontend="btb",
+        entries=256,
+        btb_assoc=4,
+        cache_kb=16,
+        attribution=True,
+    )
+    for program in ("server-frontend", "server-leaf"):
+        server_trace = generate_trace(
+            program, instructions=SERVER_INSTRUCTIONS
+        )
+        report = simulate(config, server_trace)
+        causes = report.attribution["causes"]
+        total = sum(causes.values()) or 1.0
+        shares = {
+            cause: round(value / total, 4)
+            for cause, value in sorted(causes.items())
+            if value
+        }
+        capacity = sum(shares.get(cause, 0.0) for cause in CAPACITY_CAUSES)
+        top = max(causes, key=causes.get)
+        attribution[program] = {
+            "config": config.label(),
+            "instructions": SERVER_INSTRUCTIONS,
+            "shares": shares,
+            "capacity_share": round(capacity, 4),
+            "top_cause": top,
+        }
+        if top not in CAPACITY_CAUSES:
+            fail(
+                f"{program}: top cause is {top!r}, expected a capacity "
+                f"cause; shares: {shares}"
+            )
+        if capacity < 0.45:
+            fail(
+                f"{program}: capacity share {capacity:.3f} < 0.45; "
+                f"shares: {shares}"
+            )
+        print(
+            f"ingest-smoke: {program:<16} capacity share "
+            f"{capacity:.3f} (top cause: {top})"
+        )
+    with open(
+        os.path.join(workdir, "ATTRIBUTION_SERVER.json"), "w"
+    ) as handle:
+        json.dump(attribution, handle, indent=2, sort_keys=True)
+
+    print(f"ingest-smoke: OK (artifacts in {workdir})")
+
+
+if __name__ == "__main__":
+    main()

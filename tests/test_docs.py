@@ -41,6 +41,7 @@ class TestReadme:
                 "serve",
                 "store",
                 "jobs",
+                "ingest",
             ):
                 continue
             assert name in EXPERIMENTS, name
@@ -59,6 +60,8 @@ class TestReadme:
             "docs/TELEMETRY.md",
             "docs/PERFORMANCE.md",
             "docs/SERVICE.md",
+            "docs/TRACES.md",
+            "docs/WORKLOADS.md",
         ):
             assert doc in text
             assert (REPO / doc).exists()
@@ -110,6 +113,57 @@ class TestQuickstartRuns:
         text = (REPO / "README.md").read_text()
         for module in set(re.findall(r"python -m (repro[.\w]*)", text)):
             assert importlib.util.find_spec(module) is not None, module
+
+
+class TestExternalTracesSectionRuns:
+    """Extract-and-run gate on the README external-traces section.
+
+    Mirrors :class:`TestQuickstartRuns` for the "External traces &
+    modern workloads" section: its fenced python blocks must execute
+    (against the committed fixtures, with the external-trace store
+    redirected to a temp dir) and its shell blocks must reference
+    real experiments and entry points (covered by
+    ``TestReadme.test_advertised_experiments_exist`` and
+    ``TestQuickstartRuns.test_shell_blocks_reference_real_entry_points``,
+    which scan the whole README).
+    """
+
+    HEADING = "## External traces & modern workloads"
+
+    def section(self) -> str:
+        text = (REPO / "README.md").read_text()
+        assert self.HEADING in text, "README lost its external-traces section"
+        return text.split(self.HEADING)[1].split("\n## ")[0]
+
+    def test_python_blocks_execute(self, tmp_path):
+        blocks = re.findall(
+            r"```python\n(.*?)```", self.section(), re.DOTALL
+        )
+        assert blocks, "external-traces section lost its python example"
+        env = dict(os.environ)
+        env["REPRO_TRACE_SCALE"] = "0.02"
+        env["REPRO_EXTERNAL_TRACE_DIR"] = str(tmp_path / "store")
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        for index, block in enumerate(blocks):
+            script = tmp_path / f"traces_{index}.py"
+            script.write_text(block)
+            result = subprocess.run(
+                [sys.executable, str(script)],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=str(REPO),
+                timeout=300,
+            )
+            assert result.returncode == 0, result.stderr
+            assert result.stdout.strip(), "traces example printed nothing"
+
+    def test_mentions_the_fixture_it_runs(self):
+        section = self.section()
+        assert "tests/fixtures/demo.cbp" in section
+        assert (REPO / "tests" / "fixtures" / "demo.cbp").exists()
 
 
 class TestChangesSectionReferences:

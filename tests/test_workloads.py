@@ -233,9 +233,13 @@ class TestInterpreter:
 
 
 class TestProfiles:
-    def test_registry_has_six_programs(self):
-        assert set(paper_programs()) == set(PROFILES)
-        assert len(PROFILES) == 6
+    def test_registry_has_paper_and_server_programs(self):
+        from repro.workloads.profiles import server_programs
+
+        assert set(paper_programs()) <= set(PROFILES)
+        assert set(server_programs()) <= set(PROFILES)
+        assert len(paper_programs()) == 6
+        assert len(PROFILES) == 8
 
     def test_get_profile_unknown(self):
         with pytest.raises(ValueError):
@@ -246,9 +250,16 @@ class TestProfiles:
             assert sum(profile.site_mix.values()) == pytest.approx(1.0)
 
     def test_paper_attributes_present(self):
-        for profile in PROFILES.values():
+        # only the six Table-1 programs carry a paper reference row;
+        # the modern-server profiles are deliberately paper-free
+        for name in paper_programs():
+            profile = PROFILES[name]
             assert profile.paper is not None
             assert profile.paper.pct_breaks > 0
+        from repro.workloads.profiles import server_programs
+
+        for name in server_programs():
+            assert PROFILES[name].paper is None
 
     def test_validation_rejects_bad_profiles(self):
         base = get_profile("li")
